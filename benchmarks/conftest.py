@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table of the paper has one benchmark module.  The experiment
+benchmarks run at a reduced scale by default (the paper uses 1000 task sets
+per sweep point, which takes hours in pure Python); set ``REPRO_SAMPLES``
+to raise the scale, e.g.::
+
+    REPRO_SAMPLES=1000 pytest benchmarks/ --benchmark-only -s
+
+The regenerated series are attached to each benchmark's ``extra_info`` and
+printed to stdout, so ``-s`` shows the tables the paper's figures plot.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import SweepSettings
+
+
+def _env_samples(default: int) -> int:
+    return int(os.environ.get("REPRO_SAMPLES", default))
+
+
+@pytest.fixture(scope="session")
+def fig2_settings() -> SweepSettings:
+    """Sweep settings for the Fig. 2 utilisation curves."""
+    return SweepSettings(
+        samples=_env_samples(40),
+        seed=2020,
+        utilizations=tuple(round(0.1 * step, 1) for step in range(1, 11)),
+    )
+
+
+@pytest.fixture(scope="session")
+def weighted_settings() -> SweepSettings:
+    """Sweep settings for the Fig. 3 weighted-schedulability sweeps."""
+    return SweepSettings(
+        samples=_env_samples(15),
+        seed=2020,
+        utilizations=tuple(round(0.1 * step, 1) for step in range(1, 10)),
+    )
+
+
+def attach_series(benchmark, result) -> None:
+    """Record a result object's series in the benchmark report."""
+    if hasattr(result, "ratios"):
+        benchmark.extra_info["series"] = {
+            label: [round(v, 4) for v in series]
+            for label, series in result.ratios.items()
+        }
+    elif hasattr(result, "measures"):
+        benchmark.extra_info["series"] = {
+            label: [round(v, 4) for v in series]
+            for label, series in result.measures.items()
+        }

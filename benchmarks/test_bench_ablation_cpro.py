@@ -1,0 +1,52 @@
+"""Ablation bench — CPRO eviction set (union vs global vs none).
+
+The paper uses the CPRO-union approach: between two jobs of a task, only
+same-core tasks of priority at least the analysed task's can evict PCBs.
+The coarser *global* variant charges every other task on the core; the
+*none* variant drops CPRO entirely (unsound — it upper-bounds how much the
+CPRO term costs the analysis).
+"""
+
+import random
+
+from repro.analysis import AnalysisConfig, is_schedulable
+from repro.experiments.config import default_platform
+from repro.generation import generate_taskset
+from repro.persistence.cpro import CproApproach
+
+UTILIZATIONS = (0.3, 0.4, 0.5, 0.6)
+SAMPLES = 25
+
+APPROACHES = (CproApproach.UNION, CproApproach.GLOBAL, CproApproach.NONE)
+
+
+def _run_ablation():
+    platform = default_platform()
+    counts = {approach: 0 for approach in APPROACHES}
+    for utilization in UTILIZATIONS:
+        rng = random.Random(6000 + int(utilization * 100))
+        tasksets = [
+            generate_taskset(rng, platform, utilization) for _ in range(SAMPLES)
+        ]
+        for taskset in tasksets:
+            for approach in APPROACHES:
+                config = AnalysisConfig(persistence=True, cpro_approach=approach)
+                counts[approach] += is_schedulable(taskset, platform, config)
+    total = len(UTILIZATIONS) * SAMPLES
+    return {approach: counts[approach] / total for approach in APPROACHES}
+
+
+def test_bench_ablation_cpro(benchmark):
+    ratios = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    benchmark.extra_info["schedulable_ratio"] = {
+        a.value: round(r, 4) for a, r in ratios.items()
+    }
+    print()
+    print("CPRO ablation (persistence-aware FP bus, schedulable ratio):")
+    for approach, ratio in ratios.items():
+        print(f"  {approach.value:<12} {ratio:.3f}")
+
+    # The union eviction set dominates the global one (it is a subset).
+    assert ratios[CproApproach.UNION] >= ratios[CproApproach.GLOBAL]
+    # Dropping CPRO shows how much reload overhead costs.
+    assert ratios[CproApproach.NONE] >= ratios[CproApproach.UNION]

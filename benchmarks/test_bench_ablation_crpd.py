@@ -1,0 +1,57 @@
+"""Ablation bench — CRPD approach (ECB-union vs UCB-only vs ECB-only).
+
+The paper fixes the ECB-union approach of Altmeyer et al. for the
+:math:`\\gamma` terms.  This ablation quantifies that design choice: the
+two classic coarser bounds are sound but strictly more pessimistic, so the
+schedulable area can only shrink when they replace ECB-union.
+"""
+
+import random
+
+from repro.analysis import AnalysisConfig, is_schedulable
+from repro.crpd.approaches import CrpdApproach
+from repro.experiments.config import default_platform
+from repro.generation import generate_taskset
+
+UTILIZATIONS = (0.2, 0.3, 0.4, 0.5)
+SAMPLES = 25
+
+APPROACHES = (
+    CrpdApproach.ECB_UNION,
+    CrpdApproach.UCB_ONLY,
+    CrpdApproach.ECB_ONLY,
+    CrpdApproach.NONE,
+)
+
+
+def _run_ablation():
+    platform = default_platform()
+    counts = {approach: 0 for approach in APPROACHES}
+    for utilization in UTILIZATIONS:
+        rng = random.Random(5000 + int(utilization * 100))
+        tasksets = [
+            generate_taskset(rng, platform, utilization) for _ in range(SAMPLES)
+        ]
+        for taskset in tasksets:
+            for approach in APPROACHES:
+                config = AnalysisConfig(persistence=True, crpd_approach=approach)
+                counts[approach] += is_schedulable(taskset, platform, config)
+    total = len(UTILIZATIONS) * SAMPLES
+    return {approach: counts[approach] / total for approach in APPROACHES}
+
+
+def test_bench_ablation_crpd(benchmark):
+    ratios = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    benchmark.extra_info["schedulable_ratio"] = {
+        a.value: round(r, 4) for a, r in ratios.items()
+    }
+    print()
+    print("CRPD ablation (persistence-aware FP bus, schedulable ratio):")
+    for approach, ratio in ratios.items():
+        print(f"  {approach.value:<12} {ratio:.3f}")
+
+    # ECB-union dominates the coarser sound bounds...
+    assert ratios[CrpdApproach.ECB_UNION] >= ratios[CrpdApproach.UCB_ONLY]
+    assert ratios[CrpdApproach.ECB_UNION] >= ratios[CrpdApproach.ECB_ONLY]
+    # ...and ignoring CRPD entirely (unsound) upper-bounds everything.
+    assert ratios[CrpdApproach.NONE] >= ratios[CrpdApproach.ECB_UNION]

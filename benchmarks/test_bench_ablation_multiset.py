@@ -1,0 +1,66 @@
+"""Ablation bench — multiset refinements of CRPD and CPRO (extensions).
+
+The paper fixes per-job ECB-union CRPD and CPRO-union; the RTSS 2011/2017
+literature it builds on also defines window-level *multiset* refinements.
+This bench quantifies how much schedulability those refinements add on top
+of the paper's configuration.
+"""
+
+import random
+
+from repro.analysis import AnalysisConfig, is_schedulable
+from repro.crpd.approaches import CrpdApproach
+from repro.experiments.config import default_platform
+from repro.generation import generate_taskset
+from repro.persistence.cpro import CproApproach
+
+UTILIZATIONS = (0.4, 0.5, 0.6)
+SAMPLES = 25
+
+CONFIGS = {
+    "paper (per-job union)": AnalysisConfig(persistence=True),
+    "+ multiset CRPD": AnalysisConfig(
+        persistence=True, crpd_approach=CrpdApproach.ECB_UNION_MULTISET
+    ),
+    "+ multiset CPRO": AnalysisConfig(
+        persistence=True, cpro_approach=CproApproach.MULTISET
+    ),
+    "+ both multisets": AnalysisConfig(
+        persistence=True,
+        crpd_approach=CrpdApproach.ECB_UNION_MULTISET,
+        cpro_approach=CproApproach.MULTISET,
+    ),
+}
+
+
+def _run_ablation():
+    platform = default_platform()
+    counts = {name: 0 for name in CONFIGS}
+    total = 0
+    for utilization in UTILIZATIONS:
+        rng = random.Random(7000 + int(utilization * 100))
+        for _ in range(SAMPLES):
+            taskset = generate_taskset(rng, platform, utilization)
+            total += 1
+            for name, config in CONFIGS.items():
+                counts[name] += is_schedulable(taskset, platform, config)
+    return {name: counts[name] / total for name in CONFIGS}
+
+
+def test_bench_ablation_multiset(benchmark):
+    ratios = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    benchmark.extra_info["schedulable_ratio"] = {
+        name: round(r, 4) for name, r in ratios.items()
+    }
+    print()
+    print("Multiset ablation (FP bus, schedulable ratio):")
+    for name, ratio in ratios.items():
+        print(f"  {name:<24} {ratio:.3f}")
+
+    # The refinements never lose to the paper's configuration.
+    paper = ratios["paper (per-job union)"]
+    assert ratios["+ multiset CRPD"] >= paper
+    assert ratios["+ multiset CPRO"] >= paper
+    assert ratios["+ both multisets"] >= max(
+        ratios["+ multiset CRPD"], ratios["+ multiset CPRO"]
+    ) - 0.02

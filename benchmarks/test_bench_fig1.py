@@ -1,0 +1,15 @@
+"""Benchmark E9 — Fig. 1: the worked example, checked bit-for-bit.
+
+Unlike the statistical experiments this one is exact: all nine derived
+quantities (CRPD, BAS/BAO with and without persistence, multi-job demand,
+CPRO, total RR-bus accesses) must equal the paper's published values.
+"""
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_bench_fig1(benchmark):
+    result = benchmark(run_fig1)
+    print()
+    print(result.render())
+    assert result.all_match

@@ -1,0 +1,54 @@
+"""Benchmark E1-E3 — regenerate Fig. 2 (a: FP, b: RR, c: TDMA).
+
+Reproduces the paper's headline experiment: schedulability ratio versus
+per-core utilisation for the three bus arbiters, with and without cache
+persistence, plus the perfect-bus upper bound.  The assertions encode the
+*shape* the paper reports:
+
+* persistence-aware curves dominate their baselines everywhere;
+* the maximum gain is tens of percentage points (paper: up to 70/65/50 pp
+  for FP/RR/TDMA);
+* FP outperforms RR outperforms TDMA;
+* the perfect bus dominates everything.
+"""
+
+from conftest import attach_series
+
+from repro.experiments.fig2 import run_fig2
+
+
+def _series_area(series):
+    return sum(series)
+
+
+def test_bench_fig2(benchmark, fig2_settings):
+    result = benchmark.pedantic(
+        run_fig2, args=(fig2_settings,), rounds=1, iterations=1
+    )
+    attach_series(benchmark, result)
+    benchmark.extra_info["max_gaps_pp"] = {
+        k: round(100 * v, 1) for k, v in result.gaps.items()
+    }
+    print()
+    print(result.render())
+
+    # Persistence-aware dominates the baseline pointwise.
+    for policy in ("FP", "RR", "TDMA"):
+        aware = result.ratios[f"{policy}-P"]
+        base = result.ratios[policy]
+        assert all(a >= b for a, b in zip(aware, base))
+
+    # Headline gaps: tens of percentage points for every arbiter.
+    assert result.gaps["FP"] >= 0.30
+    assert result.gaps["RR"] >= 0.30
+    assert result.gaps["TDMA"] >= 0.20
+
+    # Policy ordering: FP >= RR >= TDMA (in schedulable area).
+    assert _series_area(result.ratios["FP-P"]) >= _series_area(result.ratios["RR-P"])
+    assert _series_area(result.ratios["RR-P"]) >= _series_area(result.ratios["TDMA-P"])
+    assert _series_area(result.ratios["FP"]) >= _series_area(result.ratios["TDMA"])
+
+    # The perfect bus dominates every analysis.
+    perfect = result.ratios["Perfect"]
+    for label, series in result.ratios.items():
+        assert all(p >= v for p, v in zip(perfect, series)), label

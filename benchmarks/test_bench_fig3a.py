@@ -1,0 +1,37 @@
+"""Benchmark E4 — regenerate Fig. 3a (weighted schedulability vs cores).
+
+Paper shape: more cores mean more bus interference, so every curve falls;
+persistence-aware analyses dominate their baselines at every core count.
+"""
+
+from conftest import attach_series
+
+from repro.experiments.fig3 import run_fig3a
+
+CORES = (2, 4, 6, 8)
+
+
+def test_bench_fig3a(benchmark, weighted_settings):
+    result = benchmark.pedantic(
+        run_fig3a,
+        args=(weighted_settings,),
+        kwargs={"core_counts": CORES},
+        rounds=1,
+        iterations=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(result.render())
+
+    for policy in ("FP", "RR", "TDMA"):
+        aware = result.series(f"{policy}-P")
+        base = result.series(policy)
+        # Persistence-aware dominates at every core count.
+        assert all(a >= b for a, b in zip(aware, base))
+        # Schedulability collapses as cores are added (2 -> 8 cores).
+        assert aware[-1] < aware[0]
+        assert base[-1] <= base[0]
+
+    # The gap is visible on the strongest arbiter at the default core count.
+    four_core = CORES.index(4)
+    assert result.series("FP-P")[four_core] > result.series("FP")[four_core]

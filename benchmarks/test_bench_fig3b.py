@@ -1,0 +1,38 @@
+"""Benchmark E5 — regenerate Fig. 3b (weighted schedulability vs d_mem).
+
+Paper shape: longer memory reload times shrink every curve (memory time
+dominates), and the advantage of the persistence-aware analyses is largest
+at small ``d_mem``.
+"""
+
+from conftest import attach_series
+
+from repro.experiments.fig3 import run_fig3b
+
+D_MEM_US = (2, 4, 6, 8, 10)
+
+
+def test_bench_fig3b(benchmark, weighted_settings):
+    result = benchmark.pedantic(
+        run_fig3b,
+        args=(weighted_settings,),
+        kwargs={"d_mem_microseconds": D_MEM_US},
+        rounds=1,
+        iterations=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(result.render())
+
+    for policy in ("FP", "RR", "TDMA"):
+        aware = result.series(f"{policy}-P")
+        base = result.series(policy)
+        assert all(a >= b for a, b in zip(aware, base))
+        # Growing d_mem degrades schedulability end to end.
+        assert aware[-1] <= aware[0]
+        assert base[-1] <= base[0]
+
+    # The absolute persistence gain shrinks as d_mem grows (2 us vs 10 us).
+    gain_small = result.series("FP-P")[0] - result.series("FP")[0]
+    gain_large = result.series("FP-P")[-1] - result.series("FP")[-1]
+    assert gain_small >= gain_large - 0.05

@@ -1,0 +1,39 @@
+"""Benchmark E6 — regenerate Fig. 3c (weighted schedulability vs cache size).
+
+Benchmark parameters are re-derived per cache size through the synthetic
+program models (the paper re-ran its Heptane extraction per size).  Paper
+shape: larger caches help everybody, but the persistence-aware analyses
+improve faster because bigger caches mean more PCBs.
+"""
+
+from conftest import attach_series
+
+from repro.experiments.fig3 import run_fig3c
+
+CACHE_SETS = (32, 64, 128, 256, 512, 1024)
+
+
+def test_bench_fig3c(benchmark, weighted_settings):
+    result = benchmark.pedantic(
+        run_fig3c,
+        args=(weighted_settings,),
+        kwargs={"cache_sets": CACHE_SETS},
+        rounds=1,
+        iterations=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(result.render())
+
+    for policy in ("FP", "RR", "TDMA"):
+        aware = result.series(f"{policy}-P")
+        base = result.series(policy)
+        assert all(a >= b for a, b in zip(aware, base))
+        # Bigger caches never hurt (end to end).
+        assert aware[-1] >= aware[0]
+
+    # Persistence-aware analyses benefit more from cache growth than the
+    # baselines do (FP, smallest vs largest cache).
+    aware_growth = result.series("FP-P")[-1] - result.series("FP-P")[0]
+    base_growth = result.series("FP")[-1] - result.series("FP")[0]
+    assert aware_growth >= base_growth

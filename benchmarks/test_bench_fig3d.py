@@ -1,0 +1,38 @@
+"""Benchmark E7 — regenerate Fig. 3d (weighted schedulability vs slot size).
+
+Paper shape: larger RR/TDMA slot counts per core increase the worst-case
+waiting of every access (Eq. 8/9), so all four curves fall with ``s``, and
+the persistence-aware gain is largest at small ``s``.
+"""
+
+from conftest import attach_series
+
+from repro.experiments.fig3 import run_fig3d
+
+SLOTS = (1, 2, 3, 4, 5, 6)
+
+
+def test_bench_fig3d(benchmark, weighted_settings):
+    result = benchmark.pedantic(
+        run_fig3d,
+        args=(weighted_settings,),
+        kwargs={"slot_sizes": SLOTS},
+        rounds=1,
+        iterations=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(result.render())
+
+    for policy in ("RR", "TDMA"):
+        aware = result.series(f"{policy}-P")
+        base = result.series(policy)
+        assert all(a >= b for a, b in zip(aware, base))
+        # Larger slot sizes degrade schedulability end to end.
+        assert aware[-1] <= aware[0]
+        assert base[-1] <= base[0]
+
+    # The persistence gap narrows as s grows (RR, s=1 vs s=6).
+    gap_small = result.series("RR-P")[0] - result.series("RR")[0]
+    gap_large = result.series("RR-P")[-1] - result.series("RR")[-1]
+    assert gap_small >= gap_large - 0.05

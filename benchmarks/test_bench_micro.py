@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These use pytest-benchmark's normal auto-calibrated timing (many rounds):
+
+* one full WCRT analysis of a paper-default task set (32 tasks, 4 cores);
+* static parameter extraction of the heaviest benchmark model;
+* task-set generation;
+* one simulator run of a small scenario.
+"""
+
+import random
+
+from repro.analysis import PERSISTENCE_AWARE, analyze_taskset
+from repro.cacheanalysis.extraction import extract_parameters
+from repro.experiments.config import default_platform
+from repro.generation import generate_taskset
+from repro.model.platform import BusPolicy, Platform
+from repro.program.malardalen import benchmark_program, reference_geometry
+from repro.sim import (
+    ScenarioSpec,
+    build_scenario,
+    simulate,
+    workload_from_programs,
+)
+
+
+def test_bench_wcrt_analysis(benchmark):
+    platform = default_platform()
+    taskset = generate_taskset(random.Random(1), platform, 0.3)
+    result = benchmark(analyze_taskset, taskset, platform, PERSISTENCE_AWARE)
+    assert result.response_times
+
+
+def test_bench_extraction_nsichneu(benchmark):
+    program = benchmark_program("nsichneu")
+    geometry = reference_geometry()
+    params = benchmark(extract_parameters, program, geometry)
+    assert len(params.ecbs) == 256
+
+
+def test_bench_taskset_generation(benchmark):
+    platform = default_platform()
+
+    def generate():
+        return generate_taskset(random.Random(7), platform, 0.5)
+
+    taskset = benchmark(generate)
+    assert len(taskset) == 32
+
+
+def test_bench_simulator(benchmark):
+    platform = Platform(num_cores=2, d_mem=10, bus_policy=BusPolicy.RR)
+    scenario = build_scenario(
+        [ScenarioSpec("lcdnum", 0), ScenarioSpec("cnt", 1)], platform
+    )
+    workload = workload_from_programs(scenario.taskset, platform, scenario.programs)
+    duration = int(max(t.period for t in scenario.taskset)) * 5
+
+    result = benchmark(simulate, workload, platform, duration)
+    assert result.stats

@@ -1,0 +1,75 @@
+"""Validation bench — analytical bounds vs the discrete-event simulator.
+
+Runs one fixed 2-core scenario per bus policy, simulating 15 hyperperiods,
+and reports the slack between the observed worst response time and the
+analytical WCRT bound.  Bounds must hold for every policy; for the perfect
+bus on an otherwise idle core they are *exactly* tight on the first job.
+"""
+
+from repro.analysis import AnalysisConfig, analyze_taskset
+from repro.model.platform import BusPolicy, CacheGeometry, Platform
+from repro.sim import (
+    ScenarioSpec,
+    build_scenario,
+    simulate,
+    workload_from_programs,
+)
+
+CONFIG = AnalysisConfig(persistence=True, tdma_slot_alignment=True)
+
+SPECS = [
+    ScenarioSpec("lcdnum", 0, period_factor=6.0),
+    ScenarioSpec("bs", 0, period_factor=8.0),
+    ScenarioSpec("cnt", 1, period_factor=6.0),
+    ScenarioSpec("insertsort", 1, period_factor=10.0),
+]
+
+POLICIES = (BusPolicy.FP, BusPolicy.RR, BusPolicy.TDMA, BusPolicy.PERFECT)
+
+
+def _run_all():
+    rows = []
+    for policy in POLICIES:
+        platform = Platform(
+            num_cores=2,
+            cache=CacheGeometry(num_sets=256),
+            d_mem=10,
+            bus_policy=policy,
+            slot_size=2,
+        )
+        scenario = build_scenario(SPECS, platform)
+        analysis = analyze_taskset(scenario.taskset, platform, CONFIG)
+        workload = workload_from_programs(
+            scenario.taskset, platform, scenario.programs
+        )
+        duration = int(max(t.period for t in scenario.taskset)) * 15
+        observed = simulate(workload, platform, duration=duration)
+        for task in scenario.taskset:
+            stats = observed.of(task)
+            rows.append(
+                (
+                    policy.value,
+                    task.name,
+                    analysis.response_time(task),
+                    stats.max_response_time,
+                    stats.max_job_bus_accesses,
+                    task.md,
+                )
+            )
+    return rows
+
+
+def test_bench_sim_validation(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    print()
+    print(f"{'bus':<9}{'task':<15}{'bound':>9}{'observed':>10}{'slack':>8}"
+          f"{'acc':>6}{'MD':>5}")
+    slacks = []
+    for policy, name, bound, observed, accesses, md in rows:
+        slack = (bound - observed) / bound
+        slacks.append(slack)
+        print(f"{policy:<9}{name:<15}{bound:>9}{observed:>10}{slack:>8.1%}"
+              f"{accesses:>6}{md:>5}")
+        assert observed <= bound, (policy, name)
+        assert accesses <= md, (policy, name)
+    benchmark.extra_info["mean_slack"] = round(sum(slacks) / len(slacks), 4)

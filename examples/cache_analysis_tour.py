@@ -1,0 +1,74 @@
+"""Tour of the static cache analysis (the Heptane substitute).
+
+Builds a small synthetic program with all four cache behaviours (hot
+persistent code, one-shot init code, conflicting hot regions, one-shot
+conflicting regions), extracts ``PD/MD/MDr/ECB/UCB/PCB`` across cache
+sizes, and cross-validates the structural analysis against an exact
+unrolled trace simulation.
+
+Run with::
+
+    python examples/cache_analysis_tour.py
+"""
+
+from repro.cacheanalysis.extraction import extract_parameters
+from repro.cacheanalysis.simulator import simulate_trace
+from repro.model.platform import CacheGeometry
+from repro.program.cfg import Block, Loop, Program, Seq
+from repro.program.malardalen import benchmark_program
+from repro.program.trace import worst_case_trace
+
+
+def build_demo_program() -> Program:
+    """A hand-written kernel: init, then a hot loop, then a cold helper."""
+    line = 32  # bytes per cache line
+    init = Block(start=0, n_instructions=8 * 6)           # lines 0..5, once
+    hot = Loop(
+        body=Block(start=6 * line, n_instructions=8 * 4, uncached=1),
+        bound=50,
+    )                                                     # lines 6..9, hot
+    helper = Block(start=(10 + 256) * line, n_instructions=8 * 2)
+    conflicting = Block(start=10 * line, n_instructions=8 * 2)
+    tail = Seq(conflicting, helper)                       # lines 10,11 collide
+    return Program(name="demo", root=Seq(init, hot, tail))
+
+
+def main() -> None:
+    program = build_demo_program()
+
+    print("Extracted parameters across cache sizes:")
+    print(f"{'sets':>6}{'PD':>8}{'MD':>6}{'MDr':>6}{'|ECB|':>7}{'|UCB|':>7}{'|PCB|':>7}")
+    for sets in (8, 16, 64, 256, 1024):
+        geometry = CacheGeometry(num_sets=sets, block_size=32)
+        params = extract_parameters(program, geometry)
+        print(
+            f"{sets:>6}{params.pd:>8}{params.md:>6}{params.md_r:>6}"
+            f"{len(params.ecbs):>7}{len(params.ucbs):>7}{len(params.pcbs):>7}"
+        )
+    print("\nNote how growing the cache separates the conflicting lines\n"
+          "(|PCB| rises, MD falls) until everything is persistent.\n")
+
+    geometry = CacheGeometry(num_sets=16, block_size=32)
+    params = extract_parameters(program, geometry)
+    steps = worst_case_trace(program, geometry)
+    cached = [s.block for s in steps if s.block is not None]
+    uncached = sum(1 for s in steps if s.uncached)
+    replay = simulate_trace(cached, geometry)
+    print("Cross-validation against the exact trace simulator (16 sets):")
+    print(f"  structural MD = {params.md}")
+    print(f"  replayed trace: {replay.misses} misses + {uncached} uncached "
+          f"= {replay.misses + uncached}")
+    assert params.md == replay.misses + uncached
+
+    print("\nMälardalen model example — statemate at three cache sizes:")
+    statemate = benchmark_program("statemate")
+    for sets in (64, 256, 1024):
+        geometry = CacheGeometry(num_sets=sets, block_size=32)
+        params = extract_parameters(statemate, geometry)
+        ratio = params.md_r / params.md
+        print(f"  {sets:>5} sets: MD={params.md:>5}  MDr={params.md_r:>5} "
+              f"(persistence keeps {1 - ratio:.0%})  |PCB|={len(params.pcbs)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Design-space tooling: partitioning, WCRT decomposition, sensitivity.
+
+A walk through the supporting tooling a system designer would use around
+the core analysis:
+
+1. partition an unassigned task list onto cores (utilisation-balancing vs
+   cache-aware packing);
+2. decompose each task's WCRT bound into its interference sources to see
+   *why* the bound is what it is;
+3. probe the robustness of the design: the breakdown period scale and the
+   largest memory latency the task set tolerates, for the baseline and the
+   persistence-aware analysis.
+
+Run with::
+
+    python examples/design_space_tour.py
+"""
+
+import random
+
+from repro.analysis import (
+    BASELINE,
+    PERSISTENCE_AWARE,
+    analyze_taskset,
+    breakdown_d_mem,
+    breakdown_period_scale,
+    decompose_taskset,
+    is_schedulable,
+)
+from repro.data.benchmarks import benchmark_spec
+from repro.generation.partitioning import cache_aware_worst_fit, worst_fit
+from repro.model.platform import BusPolicy, Platform
+from repro.model.task import Task, TaskSet, assign_deadline_monotonic_priorities
+
+
+def unassigned_tasks(rng):
+    """Eight benchmark tasks, no cores assigned yet."""
+    names = ["lcdnum", "fdct", "cnt", "crc", "statemate", "ns", "bs", "qurt"]
+    tasks = []
+    platform_d_mem = 10
+    for i, name in enumerate(names):
+        spec = benchmark_spec(name)
+        wcet = spec.pd + spec.md * platform_d_mem
+        period = wcet * rng.randint(4, 9)
+        start = rng.randrange(256)
+        ecbs = frozenset((start + k) % 256 for k in range(spec.n_ecb))
+        ordered = sorted(ecbs)
+        tasks.append(
+            Task(
+                name=name, pd=spec.pd, md=spec.md, md_r=spec.md_r,
+                period=period, deadline=period, priority=i, core=0,
+                ecbs=ecbs,
+                ucbs=frozenset(rng.sample(ordered, spec.n_ucb)),
+                pcbs=frozenset(rng.sample(ordered, spec.n_pcb)),
+            )
+        )
+    return tasks
+
+
+def main() -> None:
+    rng = random.Random(0)
+    platform = Platform(num_cores=2, d_mem=10, bus_policy=BusPolicy.FP)
+    tasks = unassigned_tasks(rng)
+
+    print("1. Partitioning " + "-" * 50)
+    for label, heuristic in (("worst-fit", worst_fit),
+                             ("cache-aware", cache_aware_worst_fit)):
+        placed = heuristic(tasks, platform)
+        taskset = TaskSet(assign_deadline_monotonic_priorities(placed))
+        verdict = is_schedulable(taskset, platform, PERSISTENCE_AWARE)
+        assignment = {
+            core: [t.name for t in taskset.on_core(core)]
+            for core in platform.cores
+        }
+        print(f"  {label:<12} schedulable={verdict}")
+        for core, names in assignment.items():
+            print(f"    core {core}: {', '.join(names)}")
+
+    placed = cache_aware_worst_fit(tasks, platform)
+    taskset = TaskSet(assign_deadline_monotonic_priorities(placed))
+
+    print("\n2. WCRT decomposition (persistence-aware) " + "-" * 24)
+    result = analyze_taskset(taskset, platform, PERSISTENCE_AWARE)
+    breakdowns = decompose_taskset(taskset, platform, PERSISTENCE_AWARE, result)
+    heaviest = max(breakdowns, key=lambda b: b.response_time)
+    print(heaviest.render())
+
+    print("\n3. Sensitivity " + "-" * 51)
+    for label, config in (("baseline", BASELINE),
+                          ("persistence", PERSISTENCE_AWARE)):
+        scale = breakdown_period_scale(taskset, platform, config)
+        latency = breakdown_d_mem(taskset, platform, config)
+        scale_text = f"{scale:.2f}" if scale is not None else "unschedulable"
+        latency_text = f"{latency} cycles" if latency is not None else "none"
+        print(f"  {label:<12} breakdown period scale = {scale_text:<14} "
+              f"max tolerated d_mem = {latency_text}")
+    print("\nLower scale and higher tolerated latency = more headroom; the "
+          "persistence-aware analysis strictly extends both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fold the raw sweep outputs under ``results/`` into ``EXPERIMENTS.md``.
+
+Replaces the ``FIG3B_TABLE`` / ``FIG3C_TABLE`` / ``FIG3D_TABLE``
+placeholders with the measured series.  Idempotent: running it again after
+the placeholders are gone leaves the document untouched.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+PLACEHOLDERS = {
+    "FIG3B_TABLE": "fig3b.txt",
+    "FIG3C_TABLE": "fig3c.txt",
+    "FIG3D_TABLE": "fig3d.txt",
+}
+
+
+def extract_table(raw: str) -> str:
+    """Pull the aligned data table out of one driver's stdout."""
+    lines = [line for line in raw.splitlines() if line and "WARNING" not in line]
+    # Drop the title, underline and timing lines; keep header + rows.
+    body = []
+    for line in lines:
+        if line.startswith("=") or line.startswith("[") or " — " in line:
+            continue
+        if set(line) <= {"-"}:
+            continue
+        body.append(line.rstrip())
+    return "\n".join(body)
+
+
+def main() -> int:
+    experiments = ROOT / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    changed = False
+    for placeholder, filename in PLACEHOLDERS.items():
+        if placeholder not in text:
+            continue
+        source = ROOT / "results" / filename
+        if not source.exists():
+            print(f"missing {source}; leaving {placeholder} in place")
+            continue
+        table = extract_table(source.read_text())
+        text = text.replace(placeholder, table)
+        changed = True
+        print(f"recorded {filename}")
+    if changed:
+        experiments.write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that fully-offline environments (no ``wheel`` package available) can still
+perform an editable install via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Weighted schedulability measure (Bastoni, Brandenburg, Anderson, 2010).
+
+Used for the multi-parameter sweeps of Fig. 3.  For a parameter value ``p``
+and a set of experiments, each consisting of a task set with total
+utilisation :math:`u_\\tau` and a boolean schedulability verdict
+:math:`S(\\tau, p)`:
+
+.. math::
+
+    W(p) = \\frac{\\sum_\\tau u_\\tau \\cdot S(\\tau, p)}{\\sum_\\tau u_\\tau}
+
+Weighting by utilisation condenses a 3-D plot (parameter x utilisation x
+schedulability ratio) into 2-D while emphasising the harder, high-utilisation
+task sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.errors import AnalysisError
+
+
+def weighted_schedulability(results: Iterable[Tuple[float, bool]]) -> float:
+    """Compute :math:`W(p)` from ``(utilisation, schedulable)`` pairs.
+
+    Raises :class:`~repro.errors.AnalysisError` when the pairs carry no
+    weight at all (empty input or all-zero utilisations), since the measure
+    is undefined there.
+    """
+    total_weight = 0.0
+    achieved = 0.0
+    for utilization, schedulable in results:
+        if utilization < 0:
+            raise AnalysisError(
+                f"utilisation must be non-negative, got {utilization}"
+            )
+        total_weight += utilization
+        if schedulable:
+            achieved += utilization
+    if total_weight == 0.0:
+        raise AnalysisError("weighted schedulability of zero total utilisation")
+    return achieved / total_weight

@@ -1,0 +1,27 @@
+"""Memory bus interference bounds (Eq. 1, 3-9 and Lemmas 1-2)."""
+
+from repro.businterference.context import AnalysisContext
+from repro.businterference.requests import (
+    bao,
+    bao_low,
+    bas,
+    carried_out_accesses,
+    full_jobs_in_window,
+    jobs_in_window,
+)
+from repro.businterference.arbiters import (
+    blocking_accesses,
+    total_bus_accesses,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "bao",
+    "bao_low",
+    "bas",
+    "carried_out_accesses",
+    "full_jobs_in_window",
+    "jobs_in_window",
+    "blocking_accesses",
+    "total_bus_accesses",
+]

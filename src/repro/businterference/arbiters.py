@@ -1,0 +1,99 @@
+"""Per-arbiter total bus-access bounds :math:`BAT^x_i(t)` (Eq. 7-9).
+
+Given the same-core bound :math:`BAS` and the remote-core bounds
+:math:`BAO`, the total number of bus accesses that may delay one job of
+:math:`\\tau_i` in a window of length ``t`` depends on the bus arbitration
+policy:
+
+* **FP** (Eq. 7): all same-or-higher priority accesses from every core,
+  plus at most one blocking lower-priority access per access of the task's
+  own demand stream.
+* **RR** (Eq. 8): each remote core contributes at most ``s`` accesses per
+  access of the analysed stream (slot bound) but never more than the demand
+  it actually has.
+* **TDMA** (Eq. 9): non-work-conserving — each own access may wait for the
+  other :math:`(L-1)` cores' ``s`` slots regardless of actual demand.
+* **PERFECT**: an idealised contention-free bus; accesses still cost
+  ``d_mem`` but never queue.
+
+The trailing ``+1`` of Eq. (7)-(9) accounts for the single in-service,
+non-preemptable bus transaction of a same-core lower-priority task; the
+paper drops it when the analysed task is the lowest-priority task on its
+core (see the discussion below Eq. 12), which :func:`blocking_accesses`
+reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.businterference.context import AnalysisContext
+from repro.businterference.requests import bao, bao_low, bas
+from repro.errors import AnalysisError
+from repro.model.platform import BusPolicy
+from repro.model.task import Task
+
+
+def blocking_accesses(ctx: AnalysisContext, task_i: Task) -> int:
+    """The ``+1`` blocking term of Eq. (7)-(9).
+
+    One access of a same-core lower-priority task may already occupy the
+    (non-preemptable) bus when a job of ``task_i`` arrives; if no such task
+    exists the term vanishes, as in the paper's worked example (Eq. 12).
+    """
+    return 1 if ctx.taskset.lp_on_core(task_i, task_i.core) else 0
+
+
+def _remote_cores(ctx: AnalysisContext, task_i: Task):
+    return (core for core in ctx.platform.cores if core != task_i.core)
+
+
+def _bat_fp(ctx: AnalysisContext, task_i: Task, t: int) -> int:
+    """Fixed-priority bus (Eq. 7)."""
+    own = bas(ctx, task_i, t)
+    higher = sum(bao(ctx, core, task_i, t) for core in _remote_cores(ctx, task_i))
+    lower = sum(bao_low(ctx, core, task_i, t) for core in _remote_cores(ctx, task_i))
+    return own + higher + blocking_accesses(ctx, task_i) + min(own, lower)
+
+
+def _bat_rr(ctx: AnalysisContext, task_i: Task, t: int) -> int:
+    """Round-robin bus (Eq. 8)."""
+    own = bas(ctx, task_i, t)
+    slot_cap = ctx.platform.slot_size * own
+    lowest = ctx.taskset.lowest_priority_task
+    remote = 0
+    for core in _remote_cores(ctx, task_i):
+        demand = bao(ctx, core, lowest, t)
+        remote += min(demand, slot_cap)
+    return own + remote + blocking_accesses(ctx, task_i)
+
+
+def _bat_tdma(ctx: AnalysisContext, task_i: Task, t: int) -> int:
+    """TDMA bus (Eq. 9): cycle length ``L * s`` with ``L`` = core count.
+
+    With ``ctx.tdma_slot_alignment`` every access is charged one extra
+    slot, making the bound safe against window-interior request arrivals
+    (see :class:`repro.analysis.config.AnalysisConfig`).
+    """
+    own = bas(ctx, task_i, t)
+    wait_slots = (ctx.platform.num_cores - 1) * ctx.platform.slot_size
+    if ctx.tdma_slot_alignment:
+        wait_slots += 1
+    return own + wait_slots * own + blocking_accesses(ctx, task_i)
+
+
+def _bat_perfect(ctx: AnalysisContext, task_i: Task, t: int) -> int:
+    """Idealised contention-free bus: only the task's own core demand."""
+    return bas(ctx, task_i, t)
+
+
+def total_bus_accesses(ctx: AnalysisContext, task_i: Task, t: int) -> int:
+    """Dispatch :math:`BAT^x_i(t)` on the platform's bus policy."""
+    policy = ctx.platform.bus_policy
+    if policy is BusPolicy.FP:
+        return _bat_fp(ctx, task_i, t)
+    if policy is BusPolicy.RR:
+        return _bat_rr(ctx, task_i, t)
+    if policy is BusPolicy.TDMA:
+        return _bat_tdma(ctx, task_i, t)
+    if policy is BusPolicy.PERFECT:
+        return _bat_perfect(ctx, task_i, t)
+    raise AnalysisError(f"unsupported bus policy: {policy!r}")

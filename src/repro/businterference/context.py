@@ -1,0 +1,75 @@
+"""Shared state threaded through the bus-interference equations.
+
+The interference bounds of the paper are parameterised by quantities that are
+fixed for a given analysis run (task set, platform, CRPD/CPRO calculators,
+whether cache persistence is exploited) plus the current worst-case response
+time estimates of all tasks (Eq. 5/6 need :math:`R_l`, which the outer loop
+of Sec. IV refines iteratively).  :class:`AnalysisContext` bundles them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crpd.approaches import CrpdApproach, CrpdCalculator
+from repro.errors import AnalysisError
+from repro.model.platform import Platform
+from repro.model.task import Task, TaskSet
+from repro.persistence.cpro import CproApproach, CproCalculator
+
+
+@dataclass
+class AnalysisContext:
+    """Everything the interference equations need besides the window length.
+
+    Attributes:
+        taskset: the task set under analysis.
+        platform: the multicore platform (supplies ``d_mem``, core count,
+            bus policy and slot size).
+        persistence: when ``True`` the persistence-aware bounds of Lemmas 1
+            and 2 are used; when ``False`` the baseline bounds of Davis et
+            al. (Eq. 1 and 3).
+        crpd: memoising CRPD calculator (:math:`\\gamma` of Eq. 2).
+        cpro: memoising CPRO calculator (:math:`\\hat{\\rho}` of Eq. 14).
+        response_times: current WCRT estimate of every task, refined by the
+            outer fixed-point loop.  Tasks missing from the mapping fall back
+            to their isolated WCET, the value the outer loop starts from.
+        persistence_in_low: also apply the persistence-aware :math:`\\hat{W}`
+            to the lower-priority other-core term :math:`BAO^y_{i,low}` of
+            the FP bus (Eq. 7).  The paper leaves that term persistence
+            oblivious; enabling this is a sound tightening kept off by
+            default for fidelity.
+        tdma_slot_alignment: charge one extra TDMA slot of waiting per
+            access (see :class:`repro.analysis.config.AnalysisConfig`).
+    """
+
+    taskset: TaskSet
+    platform: Platform
+    persistence: bool = True
+    crpd: Optional[CrpdCalculator] = None
+    cpro: Optional[CproCalculator] = None
+    response_times: Dict[Task, int] = field(default_factory=dict)
+    persistence_in_low: bool = False
+    tdma_slot_alignment: bool = False
+
+    def __post_init__(self) -> None:
+        if self.crpd is None:
+            self.crpd = CrpdCalculator(self.taskset, CrpdApproach.ECB_UNION)
+        if self.cpro is None:
+            self.cpro = CproCalculator(self.taskset, CproApproach.UNION)
+
+    def response_time(self, task: Task) -> int:
+        """Current WCRT estimate of ``task`` (isolated WCET if not yet set)."""
+        estimate = self.response_times.get(task)
+        if estimate is None:
+            return int(task.pd + task.md * self.platform.d_mem)
+        return estimate
+
+    def set_response_time(self, task: Task, value: int) -> None:
+        """Record a refined WCRT estimate for ``task``."""
+        if value < 0:
+            raise AnalysisError(
+                f"response time of {task.name!r} must be non-negative, got {value}"
+            )
+        self.response_times[task] = value

@@ -1,0 +1,181 @@
+"""Bus-access request bounds: Eq. (1), (3)-(6) and Lemmas 1-2 (Eq. 16-18).
+
+Two families of bounds are implemented:
+
+* :func:`bas` — bus accesses generated **on the analysed task's own core**
+  by the task itself and its same-core higher-priority tasks within a window
+  of length ``t``:  Eq. (1) (baseline) or Lemma 1 / Eq. (16)
+  (persistence aware).
+
+* :func:`bao` — bus accesses generated **on a remote core** by tasks of a
+  given priority level or higher within a window of length ``t``:  Eq. (3)
+  (baseline) or Lemma 2 / Eq. (17)-(18) (persistence aware).
+  :func:`bao_low` is the lower-priority variant needed by the FP bus
+  (Eq. 7).
+
+All functions return *numbers of bus accesses*; multiply by ``d_mem`` for
+time.  Window lengths and all task parameters are integers (cycles /
+request counts) so every bound is exact — no floating-point ceil/floor
+pitfalls.
+"""
+
+from __future__ import annotations
+
+from repro.businterference.context import AnalysisContext
+from repro.crpd.approaches import CrpdApproach
+from repro.crpd.multiset import ecb_union_multiset_window
+from repro.errors import AnalysisError
+from repro.model.task import Task
+from repro.persistence.demand import multi_job_demand
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    """Exact ceiling division for (possibly negative) integers."""
+    return -((-numerator) // denominator)
+
+
+def jobs_in_window(t: int, period: int) -> int:
+    """:math:`E_j(t) = \\lceil t / T_j \\rceil` — releases in a window.
+
+    The maximum number of jobs a sporadic task with minimum inter-arrival
+    time ``period`` can release inside a half-open window of length ``t``.
+    """
+    if t < 0:
+        raise AnalysisError(f"window length must be non-negative, got {t}")
+    if period <= 0:
+        raise AnalysisError(f"period must be positive, got {period}")
+    return _ceil_div(t, period)
+
+
+# ---------------------------------------------------------------------------
+# Same-core bound: BAS (Eq. 1) and persistence-aware B^AS (Lemma 1, Eq. 16)
+# ---------------------------------------------------------------------------
+
+
+def bas(ctx: AnalysisContext, task_i: Task, t: int) -> int:
+    """Bus accesses from ``task_i``'s core that delay one job of ``task_i``.
+
+    Covers one job of ``task_i`` plus every job of its same-core
+    higher-priority tasks released in a window of length ``t``, including
+    CRPD reloads.  Persistence-aware (Eq. 16) when ``ctx.persistence`` is
+    set, otherwise the baseline Eq. (1); the persistence-aware value never
+    exceeds the baseline thanks to the per-task ``min``.
+    """
+    if t < 0:
+        raise AnalysisError(f"window length must be non-negative, got {t}")
+    multiset_crpd = ctx.crpd.approach is CrpdApproach.ECB_UNION_MULTISET
+    total = task_i.md
+    for task_j in ctx.taskset.hp_on_core(task_i, task_i.core):
+        n_jobs = jobs_in_window(t, int(task_j.period))
+        isolated = n_jobs * task_j.md
+        if ctx.persistence:
+            persistent = multi_job_demand(task_j, n_jobs) + ctx.cpro.rho_window(
+                task_j, task_i, n_jobs, t
+            )
+            demand = min(isolated, persistent)
+        else:
+            demand = isolated
+        if multiset_crpd:
+            crpd = ecb_union_multiset_window(
+                ctx.taskset, task_i, task_j, t, ctx.response_time
+            )
+        else:
+            crpd = n_jobs * ctx.crpd.gamma(task_i, task_j)
+        total += demand + crpd
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Remote-core bound: BAO (Eq. 3-6) and persistence-aware B^AO (Lemma 2)
+# ---------------------------------------------------------------------------
+
+
+def full_jobs_in_window(
+    ctx: AnalysisContext, task_k: Task, task_l: Task, t: int
+) -> int:
+    """:math:`N^y_{k,l}(t)` of Eq. (6) — fully-executed remote jobs.
+
+    Upper bound on the number of jobs of remote task ``task_l`` that both
+    start and finish inside a window of length ``t``, assuming the first job
+    finishes as late as possible (just before its WCRT :math:`R_l`) and
+    later jobs run as early as possible.  Clamped at zero for short windows.
+    """
+    gamma = ctx.crpd.gamma(task_k, task_l)
+    r_l = ctx.response_time(task_l)
+    numerator = t + r_l - (task_l.md + gamma) * ctx.platform.d_mem
+    if numerator < 0:
+        return 0
+    return numerator // int(task_l.period)
+
+
+def carried_out_accesses(
+    ctx: AnalysisContext, task_k: Task, task_l: Task, t: int, n_full: int
+) -> int:
+    """:math:`W^y_{k,l,cout}(t)` of Eq. (5) — carry-out job accesses.
+
+    Accesses of the final, partially-overlapping job of ``task_l``: bounded
+    both by how much of the job fits in the remainder of the window (first
+    term) and by the job's total demand including CRPD (second term).
+    """
+    gamma = ctx.crpd.gamma(task_k, task_l)
+    demand = task_l.md + gamma
+    r_l = ctx.response_time(task_l)
+    d_mem = ctx.platform.d_mem
+    remainder = t + r_l - demand * d_mem - n_full * int(task_l.period)
+    if remainder <= 0:
+        return 0
+    return min(_ceil_div(remainder, d_mem), demand)
+
+
+def _w(
+    ctx: AnalysisContext,
+    task_k: Task,
+    task_l: Task,
+    t: int,
+    persistence: bool,
+) -> int:
+    """:math:`W` (Eq. 4) or :math:`\\hat{W}` (Eq. 18) plus carry-out (Eq. 5)."""
+    n_full = full_jobs_in_window(ctx, task_k, task_l, t)
+    gamma = ctx.crpd.gamma(task_k, task_l)
+    isolated = n_full * task_l.md
+    if persistence:
+        persistent = multi_job_demand(task_l, n_full) + ctx.cpro.rho_window(
+            task_l, task_k, n_full, t, carry_in=True
+        )
+        demand = min(isolated, persistent)
+    else:
+        demand = isolated
+    body = demand + n_full * gamma
+    return body + carried_out_accesses(ctx, task_k, task_l, t, n_full)
+
+
+def bao(ctx: AnalysisContext, core_y: int, task_k: Task, t: int) -> int:
+    """Remote-core accesses of priority ``task_k`` or higher (Eq. 3/17).
+
+    Total bus accesses generated in a window of length ``t`` by the tasks of
+    core ``core_y`` whose priority is at least that of ``task_k``.
+    Persistence-aware (Lemma 2) when ``ctx.persistence`` is set.
+    """
+    if t < 0:
+        raise AnalysisError(f"window length must be non-negative, got {t}")
+    return sum(
+        _w(ctx, task_k, task_l, t, ctx.persistence)
+        for task_l in ctx.taskset.hep_on_core(task_k, core_y)
+    )
+
+
+def bao_low(ctx: AnalysisContext, core_y: int, task_k: Task, t: int) -> int:
+    """Remote-core accesses of priority lower than ``task_k`` (Eq. 7).
+
+    Needed by the FP bus: lower-priority accesses can each block at most one
+    higher-priority access.  The paper keeps this term persistence oblivious
+    (plain :math:`W`); set ``ctx.persistence_in_low`` to apply the — equally
+    sound, slightly tighter — persistence-aware :math:`\\hat{W}` instead.
+    """
+    if t < 0:
+        raise AnalysisError(f"window length must be non-negative, got {t}")
+    persistence = ctx.persistence and ctx.persistence_in_low
+    return sum(
+        _w(ctx, task_k, task_l, t, persistence)
+        for task_l in ctx.taskset.lp_on_core(task_k, core_y)
+    )

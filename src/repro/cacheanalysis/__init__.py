@@ -1,0 +1,24 @@
+"""Static direct-mapped cache analysis (the Heptane substitute)."""
+
+from repro.cacheanalysis.extraction import (
+    AccessTally,
+    ExtractedParameters,
+    evicting_sets,
+    extract_parameters,
+    extract_parameters_cached,
+    persistent_blocks,
+)
+from repro.cacheanalysis.simulator import TraceResult, simulate_trace
+from repro.cacheanalysis.state import DirectMappedCache
+
+__all__ = [
+    "AccessTally",
+    "ExtractedParameters",
+    "evicting_sets",
+    "extract_parameters",
+    "extract_parameters_cached",
+    "persistent_blocks",
+    "TraceResult",
+    "simulate_trace",
+    "DirectMappedCache",
+]

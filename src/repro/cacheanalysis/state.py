@@ -1,0 +1,107 @@
+"""Concrete direct-mapped cache state.
+
+A direct-mapped cache is a partial map from cache set index to the memory
+block currently resident in that set.  The per-set behaviour is independent
+(an access to set ``s`` can only evict the previous occupant of ``s``),
+which is what makes the structural analysis of
+:mod:`repro.cacheanalysis.extraction` exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.model.platform import CacheGeometry
+
+
+class DirectMappedCache:
+    """Mutable direct-mapped cache content for one core.
+
+    Used both by the parameter-extraction machinery (copied, compared,
+    hashed) and by the discrete-event simulator (mutated in place as jobs
+    execute).
+    """
+
+    __slots__ = ("geometry", "_lines")
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        lines: Optional[Dict[int, int]] = None,
+    ):
+        self.geometry = geometry
+        self._lines: Dict[int, int] = dict(lines) if lines else {}
+
+    @classmethod
+    def with_resident_blocks(
+        cls, geometry: CacheGeometry, blocks: Iterable[int]
+    ) -> "DirectMappedCache":
+        """Cache pre-loaded with ``blocks`` (later blocks win conflicts)."""
+        cache = cls(geometry)
+        for block in blocks:
+            cache._lines[geometry.set_of_block(block)] = block
+        return cache
+
+    def lookup(self, block: int) -> bool:
+        """Whether ``block`` is currently resident (no state change)."""
+        return self._lines.get(self.geometry.set_of_block(block)) == block
+
+    def access(self, block: int) -> bool:
+        """Access ``block``; return ``True`` on hit, loading it on a miss."""
+        cache_set = self.geometry.set_of_block(block)
+        if self._lines.get(cache_set) == block:
+            return True
+        self._lines[cache_set] = block
+        return False
+
+    def evict_sets(self, cache_sets: Iterable[int]) -> int:
+        """Invalidate the given sets; returns how many were occupied.
+
+        Models the effect of another task's execution on this core: every
+        cache set the other task touches loses its previous content.
+        """
+        evicted = 0
+        for cache_set in cache_sets:
+            if self._lines.pop(cache_set, None) is not None:
+                evicted += 1
+        return evicted
+
+    def resident_blocks(self) -> Tuple[int, ...]:
+        """The memory blocks currently cached, sorted."""
+        return tuple(sorted(self._lines.values()))
+
+    def occupied_sets(self) -> Tuple[int, ...]:
+        """The cache sets currently holding a block, sorted."""
+        return tuple(sorted(self._lines))
+
+    def copy(self) -> "DirectMappedCache":
+        """Independent copy of this cache state."""
+        return DirectMappedCache(self.geometry, self._lines)
+
+    def key(self) -> Tuple[Tuple[int, int], ...]:
+        """Hashable snapshot of the content (for fixed-point detection)."""
+        return tuple(sorted(self._lines.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectMappedCache):
+            return NotImplemented
+        return self.geometry == other.geometry and self._lines == other._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DirectMappedCache({len(self._lines)}/{self.geometry.num_sets} sets)"
+
+    def intersect(self, other: "DirectMappedCache") -> "DirectMappedCache":
+        """Pointwise join: keep only lines both states agree on.
+
+        Sound merge for branch reconvergence — dropping a line can only add
+        future misses (per-set independence of direct mapping).
+        """
+        lines = {
+            cache_set: block
+            for cache_set, block in self._lines.items()
+            if other._lines.get(cache_set) == block
+        }
+        return DirectMappedCache(self.geometry, lines)

@@ -1,0 +1,19 @@
+"""Cache-related preemption delay (CRPD) analyses."""
+
+from repro.crpd.approaches import (
+    CrpdApproach,
+    CrpdCalculator,
+    crpd_ecb_only,
+    crpd_ecb_union,
+    crpd_ucb_only,
+)
+from repro.crpd.multiset import ecb_union_multiset_window
+
+__all__ = [
+    "CrpdApproach",
+    "CrpdCalculator",
+    "crpd_ecb_only",
+    "crpd_ecb_union",
+    "crpd_ucb_only",
+    "ecb_union_multiset_window",
+]

@@ -1,0 +1,17 @@
+"""Canonical datasets (benchmark parameter table)."""
+
+from repro.data.benchmarks import (
+    EXTRACTION_LATENCY_CYCLES,
+    BenchmarkSpec,
+    benchmark_spec,
+    benchmark_table,
+    model_extracted_spec,
+)
+
+__all__ = [
+    "EXTRACTION_LATENCY_CYCLES",
+    "BenchmarkSpec",
+    "benchmark_spec",
+    "benchmark_table",
+    "model_extracted_spec",
+]

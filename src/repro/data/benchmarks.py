@@ -1,0 +1,177 @@
+"""Canonical benchmark parameter table driving the experiments.
+
+The paper's Table I publishes six Mälardalen benchmark rows extracted with
+Heptane (the full table lives in the authors' RTSS 2017 paper, which is not
+reproduced here).  This module provides the row set the task-set generator
+samples from:
+
+* the six published rows, verbatim — with the ``MD``/``MDr`` columns (which
+  Table I gives "in clock cycles") converted to request counts under the
+  units convention of ``DESIGN.md`` (extraction latency ``d_ext = 10``
+  cycles per access, equal to the default ``d_mem``), and
+* one row per reconstructed benchmark.  The paper draws from the whole
+  Mälardalen suite but only prints six rows; the reconstructed rows span
+  the same diversity of code size, memory intensity and persistence ratio
+  (``MDr/MD``) as the published ones.  Their footprint sizes (``|ECB|``,
+  ``|UCB|``, ``|PCB|``) match the synthetic models of
+  :mod:`repro.program.malardalen` exactly at the reference geometry, while
+  their ``MDr`` values follow the published distribution of persistence
+  savings — which a pure instruction-footprint model cannot express, see
+  the discussion in ``DESIGN.md``.
+
+Rows expose set *sizes* only; concrete cache-set placements are chosen by
+the task-set generator (:mod:`repro.generation`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.cacheanalysis.extraction import extract_parameters_cached
+from repro.errors import GenerationError
+from repro.program.malardalen import benchmark_program, reference_geometry
+
+#: Memory latency (cycles/access) assumed by the original Heptane
+#: extraction; converts Table I's cycle-valued MD columns to request counts.
+#: Equal to the paper's default ``d_mem`` (5 us = 10 cycles at 2 MHz), so
+#: that the paper's period formula ``T = (PD + MD)/U`` — with MD in cycles —
+#: coincides exactly with the generator's ``T = (PD + md * d_mem)/U`` at the
+#: default latency.
+EXTRACTION_LATENCY_CYCLES = 10
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One row of the benchmark parameter table.
+
+    ``md``/``md_r`` are main-memory request counts; ``pd`` is in cycles.
+    ``n_ecb``/``n_ucb``/``n_pcb`` are footprint sizes in cache sets at the
+    reference geometry (256 sets x 32 B).
+    """
+
+    name: str
+    pd: int
+    md: int
+    md_r: int
+    n_ecb: int
+    n_ucb: int
+    n_pcb: int
+    source: str
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.md_r <= self.md:
+            raise GenerationError(f"{self.name}: md_r must be within [0, md]")
+        if self.n_ucb > self.n_ecb or self.n_pcb > self.n_ecb:
+            raise GenerationError(f"{self.name}: UCB/PCB sizes exceed ECB size")
+
+    @property
+    def persistence_ratio(self) -> float:
+        """``MDr / MD`` — fraction of the demand that persistence keeps."""
+        return self.md_r / self.md if self.md else 1.0
+
+
+def _counts(md_cycles: int, md_r_cycles: int) -> Tuple[int, int]:
+    md = math.ceil(md_cycles / EXTRACTION_LATENCY_CYCLES)
+    md_r = math.ceil(md_r_cycles / EXTRACTION_LATENCY_CYCLES)
+    return md, min(md, md_r)
+
+
+#: Table I rows: (name, PD cycles, MD cycles, MDr cycles, |ECB|, |PCB|, |UCB|).
+_TABLE1 = (
+    ("lcdnum", 984, 1440, 192, 20, 20, 20),
+    ("bsort100", 710289, 89893, 88907, 20, 20, 18),
+    ("ludcmp", 27036, 8607, 3545, 98, 98, 98),
+    ("fdct", 6550, 6017, 819, 106, 22, 58),
+    ("nsichneu", 22009, 147200, 147200, 256, 0, 256),
+    ("statemate", 10586, 18257, 3891, 256, 36, 256),
+)
+
+#: Reconstructed rows, same tuple layout (cycle-valued MD/MDr columns).
+#: Footprint sizes agree with the synthetic models at the reference
+#: geometry; MD matches the models; MDr follows the published spread of
+#: persistence ratios (0.13 .. 1.0).
+_RECONSTRUCTED = (
+    ("bs", 6000, 1300, 200, 12, 12, 10),
+    ("fibcall", 12000, 80, 0, 8, 8, 8),
+    ("insertsort", 6573, 3950, 1600, 15, 15, 14),
+    ("crc", 36159, 6150, 900, 45, 45, 40),
+    ("matmult", 200436, 31220, 28000, 42, 42, 40),
+    ("jfdctint", 50000, 15300, 3300, 90, 30, 60),
+    ("ns", 10436, 5660, 2400, 26, 26, 24),
+    ("cnt", 9000, 2250, 450, 25, 25, 22),
+    ("minver", 60000, 12980, 5000, 114, 60, 100),
+    ("expint", 6000, 2560, 600, 16, 16, 12),
+    ("fir", 14000, 3180, 2800, 18, 18, 18),
+    ("janne_complex", 2500, 600, 150, 10, 10, 10),
+    ("qurt", 9000, 2000, 600, 30, 30, 28),
+    ("sqrt", 1500, 600, 100, 14, 14, 14),
+    ("select", 5000, 2220, 1800, 22, 22, 20),
+    ("ud", 20000, 3000, 900, 78, 78, 70),
+    ("duff", 7000, 2320, 1900, 44, 16, 36),
+    ("edn", 30000, 6500, 2600, 80, 50, 80),
+    ("compress", 10000, 2860, 1200, 56, 36, 30),
+)
+
+
+def _rows_from(table, source: str) -> Tuple[BenchmarkSpec, ...]:
+    rows = []
+    for name, pd, md_cycles, md_r_cycles, n_ecb, n_pcb, n_ucb in table:
+        md, md_r = _counts(md_cycles, md_r_cycles)
+        rows.append(
+            BenchmarkSpec(
+                name=name,
+                pd=pd,
+                md=md,
+                md_r=md_r,
+                n_ecb=n_ecb,
+                n_ucb=n_ucb,
+                n_pcb=n_pcb,
+                source=source,
+            )
+        )
+    return tuple(rows)
+
+
+@lru_cache(maxsize=1)
+def benchmark_table() -> Tuple[BenchmarkSpec, ...]:
+    """The full row set: published rows first, then reconstructed ones."""
+    return _rows_from(_TABLE1, "published-table1") + _rows_from(
+        _RECONSTRUCTED, "reconstructed"
+    )
+
+
+def model_extracted_spec(name: str) -> BenchmarkSpec:
+    """Row re-derived from the synthetic model at the reference geometry.
+
+    Used by the Table I reproduction experiment to report dataset versus
+    model-extracted parameters side by side.
+    """
+    params = extract_parameters_cached(benchmark_program(name), reference_geometry())
+    return BenchmarkSpec(
+        name=name,
+        pd=params.pd,
+        md=params.md,
+        md_r=params.md_r,
+        n_ecb=len(params.ecbs),
+        n_ucb=len(params.ucbs),
+        n_pcb=len(params.pcbs),
+        source="model-extracted",
+    )
+
+
+@lru_cache(maxsize=1)
+def _table_by_name() -> Dict[str, BenchmarkSpec]:
+    return {row.name: row for row in benchmark_table()}
+
+
+def benchmark_spec(name: str) -> BenchmarkSpec:
+    """Look up one row by benchmark name."""
+    try:
+        return _table_by_name()[name]
+    except KeyError:
+        raise GenerationError(
+            f"unknown benchmark {name!r}; available: {sorted(_table_by_name())}"
+        ) from None

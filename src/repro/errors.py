@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """An entity of the system model (task, task set, platform) is invalid."""
+
+
+class AnalysisError(ReproError):
+    """A schedulability analysis was configured or invoked incorrectly."""
+
+
+class ConvergenceError(AnalysisError):
+    """A fixed-point iteration exceeded its iteration budget.
+
+    The WCRT recurrence of Eq. (19) is monotone, so failing to converge within
+    the configured bound almost always means the task set is wildly
+    over-utilised; the analyses treat that as "unschedulable" rather than
+    raising, and this error is reserved for misconfiguration (e.g. a zero
+    iteration limit).
+    """
+
+
+class ProgramError(ReproError):
+    """A synthetic program model (CFG) is structurally invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class GenerationError(ReproError):
+    """Random task-set generation received unsatisfiable parameters."""

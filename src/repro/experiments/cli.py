@@ -1,0 +1,91 @@
+"""Command-line entry point: ``repro-experiments`` / ``python -m repro.experiments``.
+
+Regenerates every table and figure of the paper's evaluation::
+
+    repro-experiments table1 fig1
+    repro-experiments fig2  --samples 1000 --jobs 8     # paper scale
+    repro-experiments fig3a fig3b fig3c fig3d
+    repro-experiments all   --samples 100
+
+Sample counts default to 100 task sets per point (the paper uses 1000);
+``REPRO_SAMPLES`` and ``REPRO_JOBS`` provide environment overrides.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.config import settings_from_environment
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c, run_fig3d
+from repro.experiments.table1 import run_table1
+
+_EXPERIMENTS = ("table1", "fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig3d")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the DATE 2020 paper "
+        "'Cache Persistence-Aware Memory Bus Contention Analysis for "
+        "Multicore Systems'.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=_EXPERIMENTS + ("all",),
+        help="which experiments to run",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="task sets per sweep point (paper: 1000; default: 100 or "
+        "$REPRO_SAMPLES)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2020, help="base random seed"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: 1 or $REPRO_JOBS)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the requested experiments and print their reports."""
+    args = _parser().parse_args(argv)
+    chosen = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    overrides = {"seed": args.seed}
+    if args.samples is not None:
+        overrides["samples"] = args.samples
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    settings = settings_from_environment(**overrides)
+
+    runners = {
+        "table1": lambda: run_table1(),
+        "fig1": lambda: run_fig1(),
+        "fig2": lambda: run_fig2(settings),
+        "fig3a": lambda: run_fig3a(settings),
+        "fig3b": lambda: run_fig3b(settings),
+        "fig3c": lambda: run_fig3c(settings),
+        "fig3d": lambda: run_fig3d(settings),
+    }
+    for name in chosen:
+        started = time.time()
+        result = runners[name]()
+        print(result.render())
+        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Experiment E9 — Fig. 1: the paper's worked example as a checked report.
+
+Recomputes every quantity the paper derives from its three-task schedule
+(Sec. IV) and reports computed-vs-published side by side.  Unlike the other
+experiments this one is exact: all twelve checks must match bit-for-bit,
+otherwise the reproduction of the equations themselves is broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.businterference.arbiters import total_bus_accesses
+from repro.businterference.context import AnalysisContext
+from repro.businterference.requests import bao, bas
+from repro.crpd.approaches import CrpdCalculator
+from repro.experiments.report import format_rows
+from repro.model.platform import BusPolicy, CacheGeometry, Platform
+from repro.model.task import Task, TaskSet
+from repro.persistence.cpro import CproCalculator
+from repro.persistence.demand import multi_job_demand
+
+#: Window length such that E_1(R2) = 3 and N_{3,3}(R2) = 4, as in Fig. 1.
+R2 = 36
+
+
+@dataclass
+class Fig1Check:
+    """One quantity of the worked example."""
+
+    label: str
+    computed: int
+    published: int
+
+    @property
+    def matches(self) -> bool:
+        """Whether the computed value equals the paper's."""
+        return self.computed == self.published
+
+
+@dataclass
+class Fig1Result:
+    """All checks of the worked example."""
+
+    checks: List[Fig1Check]
+
+    @property
+    def all_match(self) -> bool:
+        """Whether the example reproduces exactly."""
+        return all(check.matches for check in self.checks)
+
+    def render(self) -> str:
+        """Text rendition of the computed-vs-published table."""
+        rows = [
+            (c.label, c.computed, c.published, "ok" if c.matches else "MISMATCH")
+            for c in self.checks
+        ]
+        return format_rows(
+            "Fig. 1 — worked example (RR bus, slot size 1)",
+            ("quantity", "computed", "paper", "verdict"),
+            rows,
+        )
+
+
+def _example() -> Tuple[TaskSet, Platform, Task, Task, Task]:
+    tau1 = Task(
+        name="tau1", pd=4, md=6, md_r=1, period=12, deadline=12, priority=1,
+        core=0,
+        ecbs=frozenset({5, 6, 7, 8, 9, 10}),
+        ucbs=frozenset({5, 6, 7, 8, 10}),
+        pcbs=frozenset({5, 6, 7, 8, 10}),
+    )
+    tau2 = Task(
+        name="tau2", pd=32, md=8, period=64, deadline=64, priority=2, core=0,
+        ecbs=frozenset({1, 2, 3, 4, 5, 6}),
+        ucbs=frozenset({5, 6}),
+    )
+    tau3 = Task(
+        name="tau3", pd=4, md=6, md_r=1, period=10, deadline=10, priority=3,
+        core=1,
+        ecbs=frozenset({5, 6, 7, 8, 9, 10}),
+        ucbs=frozenset({5, 6, 7, 8, 10}),
+        pcbs=frozenset({5, 6, 7, 8, 10}),
+    )
+    taskset = TaskSet([tau1, tau2, tau3])
+    platform = Platform(
+        num_cores=2,
+        cache=CacheGeometry(num_sets=16, block_size=32),
+        d_mem=1,
+        bus_policy=BusPolicy.RR,
+        slot_size=1,
+    )
+    return taskset, platform, tau1, tau2, tau3
+
+
+def run_fig1() -> Fig1Result:
+    """Recompute and check every quantity of the worked example."""
+    taskset, platform, tau1, tau2, tau3 = _example()
+    crpd = CrpdCalculator(taskset)
+    cpro = CproCalculator(taskset)
+    baseline = AnalysisContext(taskset=taskset, platform=platform, persistence=False)
+    aware = AnalysisContext(taskset=taskset, platform=platform, persistence=True)
+    for ctx in (baseline, aware):
+        ctx.set_response_time(tau3, 10)
+
+    checks = [
+        Fig1Check("gamma_{2,1,x} (Eq. 2)", crpd.gamma(tau2, tau1), 2),
+        Fig1Check("BAS_2^x(R2) baseline (Eq. 12)", bas(baseline, tau2, R2), 32),
+        Fig1Check("BAO_3^y(R2) baseline (Eq. 13)", bao(baseline, 1, tau3, R2), 24),
+        Fig1Check("MD-hat_1(3) (Eq. 10)", multi_job_demand(tau1, 3), 8),
+        Fig1Check("rho-hat_{1,2,x}(3) (Eq. 14)", cpro.rho(tau1, tau2, 3), 4),
+        Fig1Check("BAS-hat_2^x(R2) (Eq. 15/16)", bas(aware, tau2, R2), 26),
+        Fig1Check("BAO-hat_3^y(R2) (Lemma 2)", bao(aware, 1, tau3, R2), 9),
+        Fig1Check(
+            "BAT_2^x baseline (Eq. 11)",
+            total_bus_accesses(baseline, tau2, R2),
+            56,
+        ),
+        Fig1Check(
+            "BAT_2^x persistence-aware",
+            total_bus_accesses(aware, tau2, R2),
+            35,
+        ),
+    ]
+    return Fig1Result(checks=checks)

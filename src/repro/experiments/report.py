@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results.
+
+The original figures are line plots; the harness prints the same series as
+aligned ASCII tables (one row per x-value, one column per curve) so results
+can be diffed, archived and compared against the paper without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    columns: Dict[str, Sequence[float]],
+    precision: int = 3,
+) -> str:
+    """Render one figure's series as an aligned text table."""
+    labels = list(columns)
+    width = max(8, *(len(label) + 2 for label in labels)) if labels else 8
+    x_width = max(len(x_label) + 2, 10)
+    lines = [title, "=" * len(title)]
+    header = x_label.ljust(x_width) + "".join(label.rjust(width) for label in labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_index, x in enumerate(x_values):
+        row = f"{x}".ljust(x_width)
+        for label in labels:
+            row += f"{columns[label][row_index]:.{precision}f}".rjust(width)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_gaps(gaps: Dict[str, float]) -> str:
+    """Render the per-policy maximum persistence gains."""
+    lines = ["Maximum persistence-aware gain (percentage points):"]
+    for label, gap in gaps.items():
+        lines.append(f"  {label:<6s} {100 * gap:5.1f} pp")
+    return "\n".join(lines)
+
+
+def format_rows(
+    title: str, header: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Render generic tabular data with per-column alignment."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in materialised:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

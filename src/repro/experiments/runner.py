@@ -1,0 +1,164 @@
+"""Generic sweep machinery shared by all figure drivers.
+
+Every experiment point boils down to: draw ``samples`` random task sets for
+one platform configuration, evaluate each task set under every analysis
+variant, and aggregate either a schedulability *ratio* (Fig. 2) or the
+utilisation-weighted schedulability *measure* (Fig. 3).
+
+Determinism: the RNG seed of each sample is a pure function of the sweep
+seed, the point index and the sample index, so results are reproducible and
+independent of the degree of parallelism.  All variants see the *same*
+task sets, as in the paper.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.schedulability import is_schedulable
+from repro.analysis.weighted import weighted_schedulability
+from repro.experiments.config import SweepSettings, Variant
+from repro.generation.taskset_gen import GenerationConfig, generate_taskset
+from repro.model.platform import Platform
+
+import random
+
+
+@dataclass(frozen=True)
+class SampleOutcome:
+    """Verdicts for one generated task set under every variant."""
+
+    weight: float
+    verdicts: Tuple[bool, ...]
+
+
+def _sample_seed(seed: int, point_index: int, sample_index: int) -> int:
+    """Stable per-sample seed, independent of execution order."""
+    return (seed * 1_000_003 + point_index * 10_007 + sample_index) & 0x7FFFFFFF
+
+
+def evaluate_sample(
+    base_platform: Platform,
+    utilization: float,
+    variants: Sequence[Variant],
+    generation: GenerationConfig,
+    sample_seed: int,
+) -> SampleOutcome:
+    """Generate one task set and test it under every variant.
+
+    The task set is generated once from ``base_platform`` (generation only
+    depends on ``d_mem``, the cache geometry and the core count, not on the
+    arbitration policy) and shared across variants.
+    """
+    rng = random.Random(sample_seed)
+    taskset = generate_taskset(rng, base_platform, utilization, generation)
+    weight = taskset.total_utilization(base_platform.d_mem)
+    verdicts = tuple(
+        is_schedulable(
+            taskset,
+            base_platform.with_bus_policy(variant.policy),
+            variant.analysis,
+        )
+        for variant in variants
+    )
+    return SampleOutcome(weight=weight, verdicts=verdicts)
+
+
+def _point_task(args) -> List[SampleOutcome]:
+    base_platform, utilization, variants, generation, seeds = args
+    return [
+        evaluate_sample(base_platform, utilization, variants, generation, s)
+        for s in seeds
+    ]
+
+
+def run_point(
+    base_platform: Platform,
+    utilization: float,
+    variants: Sequence[Variant],
+    settings: SweepSettings,
+    point_index: int,
+) -> List[SampleOutcome]:
+    """All sample outcomes for one (platform, utilisation) point."""
+    seeds = [
+        _sample_seed(settings.seed, point_index, i) for i in range(settings.samples)
+    ]
+    return _point_task(
+        (base_platform, utilization, tuple(variants), settings.generation, seeds)
+    )
+
+
+def run_curve(
+    base_platform: Platform,
+    variants: Sequence[Variant],
+    settings: SweepSettings,
+    point_offset: int = 0,
+) -> Dict[float, List[SampleOutcome]]:
+    """Outcomes for every utilisation point of the grid.
+
+    ``point_offset`` decorrelates the RNG streams of different parameter
+    values in multi-parameter sweeps.  With ``settings.jobs > 1`` the
+    utilisation points are evaluated in parallel worker processes.
+    """
+    points = [
+        (
+            base_platform,
+            utilization,
+            tuple(variants),
+            settings.generation,
+            [
+                _sample_seed(settings.seed, point_offset + index, i)
+                for i in range(settings.samples)
+            ],
+        )
+        for index, utilization in enumerate(settings.utilizations)
+    ]
+    if settings.jobs > 1:
+        with ProcessPoolExecutor(max_workers=settings.jobs) as pool:
+            results = list(pool.map(_point_task, points))
+    else:
+        results = [_point_task(point) for point in points]
+    return dict(zip(settings.utilizations, results))
+
+
+def schedulability_ratios(
+    outcomes: Dict[float, List[SampleOutcome]],
+    variants: Sequence[Variant],
+) -> Dict[str, List[float]]:
+    """Per-variant schedulability ratio at each utilisation point."""
+    ratios: Dict[str, List[float]] = {v.label: [] for v in variants}
+    for utilization in sorted(outcomes):
+        samples = outcomes[utilization]
+        for column, variant in enumerate(variants):
+            schedulable = sum(1 for s in samples if s.verdicts[column])
+            ratios[variant.label].append(schedulable / len(samples))
+    return ratios
+
+
+def weighted_measures(
+    outcomes: Dict[float, List[SampleOutcome]],
+    variants: Sequence[Variant],
+) -> Dict[str, float]:
+    """Per-variant weighted schedulability over the whole utilisation grid."""
+    measures: Dict[str, float] = {}
+    for column, variant in enumerate(variants):
+        pairs: List[Tuple[float, bool]] = []
+        for samples in outcomes.values():
+            pairs.extend((s.weight, s.verdicts[column]) for s in samples)
+        measures[variant.label] = weighted_schedulability(pairs)
+    return measures
+
+
+def max_gap(
+    ratios: Dict[str, List[float]], aware_label: str, baseline_label: str
+) -> float:
+    """Largest percentage-point gain of ``aware`` over ``baseline``.
+
+    This is the quantity behind the paper's "up to 70 percentage points"
+    claims (Sec. V.1).
+    """
+    aware = ratios[aware_label]
+    baseline = ratios[baseline_label]
+    return max(a - b for a, b in zip(aware, baseline))

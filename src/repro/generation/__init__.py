@@ -1,0 +1,29 @@
+"""Random task-set generation (UUnifast + benchmark parameters)."""
+
+from repro.generation.taskset_gen import (
+    GenerationConfig,
+    ParameterSource,
+    PlacementPolicy,
+    generate_taskset,
+)
+from repro.generation.partitioning import (
+    HEURISTICS,
+    best_fit,
+    cache_aware_worst_fit,
+    first_fit,
+    worst_fit,
+)
+from repro.generation.uunifast import uunifast
+
+__all__ = [
+    "GenerationConfig",
+    "ParameterSource",
+    "PlacementPolicy",
+    "generate_taskset",
+    "uunifast",
+    "HEURISTICS",
+    "best_fit",
+    "cache_aware_worst_fit",
+    "first_fit",
+    "worst_fit",
+]

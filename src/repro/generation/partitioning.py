@@ -1,0 +1,175 @@
+"""Task-to-core partitioning heuristics.
+
+The paper assumes tasks are "statically assigned to a core at design time"
+and its generator simply deals 8 tasks to each core.  A downstream user of
+this library usually starts from an *unpartitioned* task list, so this
+module provides the classic bin-packing heuristics plus a cache-aware
+variant that exploits the persistence analysis:
+
+* :func:`first_fit` / :func:`worst_fit` / :func:`best_fit` — utilisation
+  driven bin packing (decreasing-utilisation order).
+* :func:`cache_aware_worst_fit` — like worst fit, but among the cores with
+  enough utilisation headroom it picks the one whose resident tasks'
+  ECBs overlap the new task's PCBs the least.  Less overlap means smaller
+  CPRO (Eq. 14) and smaller CRPD (Eq. 2), which directly tightens the
+  persistence-aware analysis.
+
+All heuristics return a *new* list of tasks with the ``core`` attribute
+set; priorities are untouched (assign them afterwards, e.g. deadline
+monotonic).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import GenerationError
+from repro.model.platform import Platform
+from repro.model.task import Task
+
+
+def _sorted_by_utilization(tasks: Sequence[Task], d_mem: int) -> List[Task]:
+    return sorted(tasks, key=lambda t: t.utilization(d_mem), reverse=True)
+
+
+def _check_fit(task: Task, load: float, d_mem: int, capacity: float) -> bool:
+    return load + task.utilization(d_mem) <= capacity + 1e-12
+
+
+def _pack(
+    tasks: Sequence[Task],
+    platform: Platform,
+    choose: Callable[[Task, List[float], List[List[Task]]], Optional[int]],
+    capacity: float,
+) -> List[Task]:
+    d_mem = platform.d_mem
+    loads = [0.0] * platform.num_cores
+    assigned: List[List[Task]] = [[] for _ in platform.cores]
+    result: List[Task] = []
+    for task in _sorted_by_utilization(tasks, d_mem):
+        core = choose(task, loads, assigned)
+        if core is None:
+            raise GenerationError(
+                f"task {task.name!r} (u={task.utilization(d_mem):.3f}) does "
+                f"not fit on any core (capacity {capacity})"
+            )
+        placed = task.with_core(core)
+        loads[core] += task.utilization(d_mem)
+        assigned[core].append(placed)
+        result.append(placed)
+    return result
+
+
+def first_fit(
+    tasks: Sequence[Task], platform: Platform, capacity: float = 1.0
+) -> List[Task]:
+    """First-fit decreasing: lowest-indexed core with room."""
+    d_mem = platform.d_mem
+
+    def choose(task, loads, assigned):
+        for core, load in enumerate(loads):
+            if _check_fit(task, load, d_mem, capacity):
+                return core
+        return None
+
+    return _pack(tasks, platform, choose, capacity)
+
+
+def best_fit(
+    tasks: Sequence[Task], platform: Platform, capacity: float = 1.0
+) -> List[Task]:
+    """Best-fit decreasing: fullest core that still has room."""
+    d_mem = platform.d_mem
+
+    def choose(task, loads, assigned):
+        candidates = [
+            core
+            for core, load in enumerate(loads)
+            if _check_fit(task, load, d_mem, capacity)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda core: loads[core])
+
+    return _pack(tasks, platform, choose, capacity)
+
+
+def worst_fit(
+    tasks: Sequence[Task], platform: Platform, capacity: float = 1.0
+) -> List[Task]:
+    """Worst-fit decreasing: emptiest core (balances utilisation)."""
+    d_mem = platform.d_mem
+
+    def choose(task, loads, assigned):
+        candidates = [
+            core
+            for core, load in enumerate(loads)
+            if _check_fit(task, load, d_mem, capacity)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda core: loads[core])
+
+    return _pack(tasks, platform, choose, capacity)
+
+
+def _cache_overlap(task: Task, residents: Sequence[Task]) -> int:
+    """How badly ``task`` and the core's residents disturb each other.
+
+    Counts both directions: resident ECBs evicting the newcomer's PCBs and
+    UCBs (future CPRO/CRPD of the newcomer) and the newcomer's ECBs
+    evicting the residents' PCBs and UCBs.
+    """
+    overlap = 0
+    for resident in residents:
+        overlap += len(task.pcbs & resident.ecbs)
+        overlap += len(task.ucbs & resident.ecbs)
+        overlap += len(resident.pcbs & task.ecbs)
+        overlap += len(resident.ucbs & task.ecbs)
+    return overlap
+
+
+def cache_aware_worst_fit(
+    tasks: Sequence[Task],
+    platform: Platform,
+    capacity: float = 1.0,
+    headroom: float = 0.1,
+) -> List[Task]:
+    """Worst fit with cache-overlap tie breaking.
+
+    Among the cores whose load is within ``headroom`` of the emptiest one,
+    pick the core minimising the mutual cache-footprint disturbance.  With
+    ``headroom = 0`` this degenerates to plain worst fit; with a large
+    ``headroom`` it greedily minimises overlap subject to fitting.
+    """
+    if headroom < 0:
+        raise GenerationError(f"headroom must be non-negative, got {headroom}")
+    d_mem = platform.d_mem
+
+    def choose(task, loads, assigned):
+        candidates = [
+            core
+            for core, load in enumerate(loads)
+            if _check_fit(task, load, d_mem, capacity)
+        ]
+        if not candidates:
+            return None
+        emptiest = min(loads[core] for core in candidates)
+        near_emptiest = [
+            core for core in candidates if loads[core] <= emptiest + headroom
+        ]
+        return min(
+            near_emptiest,
+            key=lambda core: (_cache_overlap(task, assigned[core]), loads[core]),
+        )
+
+    return _pack(tasks, platform, choose, capacity)
+
+
+#: Named registry of the partitioning heuristics.
+HEURISTICS: Dict[str, Callable[..., List[Task]]] = {
+    "first-fit": first_fit,
+    "best-fit": best_fit,
+    "worst-fit": worst_fit,
+    "cache-aware": cache_aware_worst_fit,
+}

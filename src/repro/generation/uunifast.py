@@ -1,0 +1,48 @@
+"""UUnifast utilisation generation (Bini & Buttazzo, 2005).
+
+The paper generates task utilisations with UUnifast assuming an equal
+utilisation target for each core.  UUnifast draws ``n`` utilisations that
+sum exactly to the target, uniformly distributed over the corresponding
+simplex — the standard unbiased generator for schedulability experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import GenerationError
+
+
+def uunifast(rng: random.Random, n_tasks: int, total_utilization: float) -> List[float]:
+    """Draw ``n_tasks`` utilisations summing to ``total_utilization``.
+
+    Args:
+        rng: source of randomness (callers own seeding for reproducibility).
+        n_tasks: number of tasks to draw for.
+        total_utilization: target sum; must be positive.  Values above
+            ``n_tasks`` are impossible to realise with per-task utilisation
+            at most one and are rejected.
+
+    Returns:
+        A list of ``n_tasks`` positive utilisations summing (within
+        floating-point error) to the target.
+    """
+    if n_tasks <= 0:
+        raise GenerationError(f"n_tasks must be positive, got {n_tasks}")
+    if total_utilization <= 0:
+        raise GenerationError(
+            f"total_utilization must be positive, got {total_utilization}"
+        )
+    if total_utilization > n_tasks:
+        raise GenerationError(
+            f"cannot split utilisation {total_utilization} over {n_tasks} tasks"
+        )
+    remaining = total_utilization
+    utilizations: List[float] = []
+    for i in range(1, n_tasks):
+        next_remaining = remaining * rng.random() ** (1.0 / (n_tasks - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations

@@ -1,0 +1,19 @@
+"""Cache persistence: multi-job memory demand and CPRO bounds."""
+
+from repro.persistence.demand import multi_job_demand
+from repro.persistence.cpro import (
+    CproApproach,
+    CproCalculator,
+    cpro_eviction_count_global,
+    cpro_eviction_count_union,
+    cpro_multiset_window,
+)
+
+__all__ = [
+    "multi_job_demand",
+    "CproApproach",
+    "CproCalculator",
+    "cpro_eviction_count_global",
+    "cpro_eviction_count_union",
+    "cpro_multiset_window",
+]

@@ -1,0 +1,34 @@
+"""Multi-job memory access demand under cache persistence (Eq. 10).
+
+A persistent cache block (PCB) of a task is "a memory block used by the task
+that, once loaded in the cache, will never be evicted or invalidated by the
+task itself" (Rashid et al., ECRTS 2016).  When a task executes in isolation
+each PCB is therefore loaded from main memory *at most once* across all its
+jobs, so the total demand of :math:`n` successive jobs is bounded by
+
+.. math::
+
+    \\hat{MD}_i(n) = \\min( n \\cdot MD_i,\\; n \\cdot MD^r_i + |PCB_i| )
+
+The first argument of the ``min`` is the classic persistence-oblivious bound;
+the second charges every job only its residual demand plus one cold load of
+every PCB.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.model.task import Task
+
+
+def multi_job_demand(task: Task, n_jobs: int) -> int:
+    """Upper bound :math:`\\hat{MD}(n)` on the memory requests of ``n_jobs``
+    successive jobs of ``task`` executing in isolation (Eq. 10).
+
+    Returns 0 for ``n_jobs == 0``; raises for negative job counts.
+    """
+    if n_jobs < 0:
+        raise AnalysisError(f"n_jobs must be non-negative, got {n_jobs}")
+    if n_jobs == 0:
+        return 0
+    return min(n_jobs * task.md, n_jobs * task.md_r + len(task.pcbs))

@@ -1,0 +1,38 @@
+"""Synthetic program models (structured CFG IR + Mälardalen models)."""
+
+from repro.program.cfg import (
+    Alt,
+    Block,
+    Loop,
+    Node,
+    Program,
+    Seq,
+    worst_case_work,
+)
+from repro.program.malardalen import (
+    ALL_MODELS,
+    benchmark_names,
+    benchmark_program,
+    build_benchmark,
+    published_names,
+    reference_geometry,
+)
+from repro.program.trace import TraceStep, worst_case_trace
+
+__all__ = [
+    "Alt",
+    "Block",
+    "Loop",
+    "Node",
+    "Program",
+    "Seq",
+    "worst_case_work",
+    "ALL_MODELS",
+    "benchmark_names",
+    "benchmark_program",
+    "build_benchmark",
+    "published_names",
+    "reference_geometry",
+    "TraceStep",
+    "worst_case_trace",
+]

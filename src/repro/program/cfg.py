@@ -1,0 +1,250 @@
+"""Structured control-flow representation of synthetic benchmark programs.
+
+The paper extracts per-task cache parameters (``PD``, ``MD``, ``MDr``,
+``ECB``, ``UCB``, ``PCB``) from the Mälardalen C benchmarks with the Heptane
+static WCET analyser.  Heptane is unavailable here, so we model each
+benchmark as a small *structured* program over which the same quantities can
+be computed exactly for any direct-mapped cache geometry
+(:mod:`repro.cacheanalysis`).
+
+The IR is deliberately structured (no arbitrary gotos): a program is a tree
+of four node kinds —
+
+* :class:`Block` — a straight-line run of instructions occupying a
+  contiguous address range, with an optional compute-cycle weight and an
+  optional count of *uncached* memory requests (modelling accesses that
+  always reach main memory, e.g. data traffic routed over the analysed bus
+  in the original extraction).
+* :class:`Seq` — sequential composition.
+* :class:`Loop` — a loop with a static iteration bound.
+* :class:`Alt` — a multi-way branch (if/else, switch).
+
+Structured form keeps the worst-case-path and abstract cache semantics
+compositional, which is what makes the parameter extraction exact and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.errors import ProgramError
+from repro.model.platform import CacheGeometry
+
+#: Default size of one instruction in bytes (32-bit RISC encoding).
+INSTRUCTION_SIZE = 4
+
+
+class Node:
+    """Base class of all program IR nodes."""
+
+    def iter_blocks(self) -> Iterator["Block"]:
+        """Yield every :class:`Block` in the subtree (syntactic order)."""
+        raise NotImplementedError
+
+    def scaled(self, factor: float) -> "Node":
+        """Copy of the subtree with loop bounds scaled by ``factor``.
+
+        Used to build reduced-size program variants that the discrete-event
+        simulator can execute quickly; bounds never drop below 1.
+        """
+        raise NotImplementedError
+
+    def relocated(self, offset: int) -> "Node":
+        """Copy of the subtree with all addresses shifted by ``offset`` bytes.
+
+        Models loading the program at a different base address: distinct
+        tasks occupy distinct memory regions, while their cache-set
+        footprints shift modulo the cache size.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Block(Node):
+    """A straight-line sequence of instructions.
+
+    Attributes:
+        start: byte address of the first instruction.
+        n_instructions: number of instructions executed by one pass.
+        work: compute cycles consumed by one pass assuming all cache hits;
+            defaults to one cycle per instruction.
+        uncached: main-memory requests issued per pass that bypass the
+            instruction cache (always misses, e.g. modelled data traffic).
+    """
+
+    start: int
+    n_instructions: int
+    work: int = -1
+    uncached: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ProgramError(f"block start address must be >= 0, got {self.start}")
+        if self.n_instructions <= 0:
+            raise ProgramError(
+                f"blocks must contain at least one instruction, "
+                f"got {self.n_instructions}"
+            )
+        if self.work < 0:
+            object.__setattr__(self, "work", self.n_instructions)
+        if self.uncached < 0:
+            raise ProgramError(f"uncached count must be >= 0, got {self.uncached}")
+
+    @property
+    def end(self) -> int:
+        """Byte address one past the last instruction."""
+        return self.start + self.n_instructions * INSTRUCTION_SIZE
+
+    def memory_blocks(self, geometry: CacheGeometry) -> Tuple[int, ...]:
+        """Distinct memory blocks covered, in execution order."""
+        first = self.start // geometry.block_size
+        last = (self.end - 1) // geometry.block_size
+        return tuple(range(first, last + 1))
+
+    def iter_blocks(self) -> Iterator["Block"]:
+        yield self
+
+    def scaled(self, factor: float) -> "Block":
+        return self
+
+    def relocated(self, offset: int) -> "Block":
+        return Block(
+            start=self.start + offset,
+            n_instructions=self.n_instructions,
+            work=self.work,
+            uncached=self.uncached,
+        )
+
+
+@dataclass(frozen=True)
+class Seq(Node):
+    """Sequential composition of program fragments."""
+
+    parts: Tuple[Node, ...]
+
+    def __init__(self, *parts: Node):
+        if not parts:
+            raise ProgramError("a Seq needs at least one part")
+        flattened = []
+        for part in parts:
+            if isinstance(part, Seq):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        object.__setattr__(self, "parts", tuple(flattened))
+
+    def iter_blocks(self) -> Iterator[Block]:
+        for part in self.parts:
+            yield from part.iter_blocks()
+
+    def scaled(self, factor: float) -> "Seq":
+        return Seq(*(part.scaled(factor) for part in self.parts))
+
+    def relocated(self, offset: int) -> "Seq":
+        return Seq(*(part.relocated(offset) for part in self.parts))
+
+
+@dataclass(frozen=True)
+class Loop(Node):
+    """A loop executing its body at most ``bound`` times."""
+
+    body: Node
+    bound: int
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise ProgramError(f"loop bound must be >= 1, got {self.bound}")
+
+    def iter_blocks(self) -> Iterator[Block]:
+        yield from self.body.iter_blocks()
+
+    def scaled(self, factor: float) -> "Loop":
+        new_bound = max(1, int(round(self.bound * factor)))
+        return Loop(body=self.body.scaled(factor), bound=new_bound)
+
+    def relocated(self, offset: int) -> "Loop":
+        return Loop(body=self.body.relocated(offset), bound=self.bound)
+
+
+@dataclass(frozen=True)
+class Alt(Node):
+    """A multi-way branch; exactly one choice executes per pass."""
+
+    choices: Tuple[Node, ...]
+
+    def __init__(self, *choices: Node):
+        if len(choices) < 2:
+            raise ProgramError("an Alt needs at least two choices")
+        object.__setattr__(self, "choices", tuple(choices))
+
+    def iter_blocks(self) -> Iterator[Block]:
+        for choice in self.choices:
+            yield from choice.iter_blocks()
+
+    def scaled(self, factor: float) -> "Alt":
+        return Alt(*(choice.scaled(factor) for choice in self.choices))
+
+    def relocated(self, offset: int) -> "Alt":
+        return Alt(*(choice.relocated(offset) for choice in self.choices))
+
+
+@dataclass(frozen=True)
+class Program:
+    """A named synthetic program.
+
+    Attributes:
+        name: benchmark name (e.g. ``"bsort100"``).
+        root: the program body.
+        description: free-form provenance note (what the model imitates).
+    """
+
+    name: str
+    root: Node
+    description: str = ""
+
+    def iter_blocks(self) -> Iterator[Block]:
+        """All straight-line blocks of the program."""
+        return self.root.iter_blocks()
+
+    def memory_blocks(self, geometry: CacheGeometry) -> FrozenSet[int]:
+        """Every memory block the program may fetch, over all paths."""
+        blocks = set()
+        for block in self.iter_blocks():
+            blocks.update(block.memory_blocks(geometry))
+        return frozenset(blocks)
+
+    def footprint_bytes(self) -> int:
+        """Span of the instruction address range used by the program."""
+        starts = [b.start for b in self.iter_blocks()]
+        ends = [b.end for b in self.iter_blocks()]
+        return max(ends) - min(starts)
+
+    def scaled(self, factor: float) -> "Program":
+        """Program with loop bounds scaled by ``factor`` (min bound 1)."""
+        if factor <= 0:
+            raise ProgramError(f"scale factor must be positive, got {factor}")
+        return replace(self, root=self.root.scaled(factor))
+
+    def relocated(self, offset: int) -> "Program":
+        """Program loaded ``offset`` bytes higher in memory."""
+        if offset < 0:
+            raise ProgramError(f"relocation offset must be >= 0, got {offset}")
+        return replace(self, root=self.root.relocated(offset))
+
+
+def worst_case_work(node: Node) -> int:
+    """Compute cycles of the longest path, assuming every access hits.
+
+    This is the ``PD`` of the paper's task model: pure processing demand,
+    excluding all main-memory time.
+    """
+    if isinstance(node, Block):
+        return node.work
+    if isinstance(node, Seq):
+        return sum(worst_case_work(part) for part in node.parts)
+    if isinstance(node, Loop):
+        return node.bound * worst_case_work(node.body)
+    if isinstance(node, Alt):
+        return max(worst_case_work(choice) for choice in node.choices)
+    raise ProgramError(f"unknown node type: {type(node).__name__}")

@@ -1,0 +1,116 @@
+"""Concrete worst-case execution traces of synthetic programs.
+
+The discrete-event simulator (:mod:`repro.sim`) executes *jobs* as a
+sequence of trace steps: do some compute work, then perform one memory
+access (an instruction fetch that may hit in the core's live cache, or an
+uncached request that always goes to the bus).  This module lowers a
+structured :class:`~repro.program.cfg.Program` into such a step sequence,
+following the same worst-demand branch policy as the static extraction so
+that the simulated job never demands more than the analysed ``MD``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.cacheanalysis.state import DirectMappedCache
+from repro.errors import ProgramError
+from repro.model.platform import CacheGeometry
+from repro.program.cfg import Alt, Block, Loop, Node, Program, Seq
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One unit of job progress: ``work`` cycles, then one optional access.
+
+    Attributes:
+        work: compute cycles executed before the access.
+        block: memory block fetched through the cache, or ``None`` for a
+            step that performs no cached access.
+        uncached: when ``True`` the step ends with a request that bypasses
+            the cache (always a bus access); ``block`` is ``None`` then.
+    """
+
+    work: int
+    block: Optional[int] = None
+    uncached: bool = False
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ProgramError(f"step work must be >= 0, got {self.work}")
+        if self.uncached and self.block is not None:
+            raise ProgramError("uncached steps carry no memory block")
+
+
+def _block_steps(block: Block, geometry: CacheGeometry) -> Iterator[TraceStep]:
+    memory_blocks = block.memory_blocks(geometry)
+    n_units = len(memory_blocks) + block.uncached
+    base, extra = divmod(block.work, n_units)
+    unit = 0
+    for memory_block in memory_blocks:
+        yield TraceStep(work=base + (1 if unit < extra else 0), block=memory_block)
+        unit += 1
+    for _ in range(block.uncached):
+        yield TraceStep(work=base + (1 if unit < extra else 0), uncached=True)
+        unit += 1
+
+
+class _TraceBuilder:
+    def __init__(self, geometry: CacheGeometry, max_steps: int):
+        self.geometry = geometry
+        self.max_steps = max_steps
+        self.steps: List[TraceStep] = []
+        self.state = DirectMappedCache(geometry)
+
+    def emit(self, node: Node) -> None:
+        if isinstance(node, Block):
+            for step in _block_steps(node, self.geometry):
+                self.steps.append(step)
+                if step.block is not None:
+                    self.state.access(step.block)
+            if len(self.steps) > self.max_steps:
+                raise ProgramError(
+                    f"trace exceeds {self.max_steps} steps; "
+                    f"use Program.scaled() to shrink loop bounds"
+                )
+            return
+        if isinstance(node, Seq):
+            for part in node.parts:
+                self.emit(part)
+            return
+        if isinstance(node, Loop):
+            for _ in range(node.bound):
+                self.emit(node.body)
+            return
+        if isinstance(node, Alt):
+            # Greedy worst-demand branch from the *current* concrete state,
+            # mirroring the static extraction's branch policy.  Imported
+            # lazily: extraction depends on the program IR module, so a
+            # top-level import would be circular.
+            from repro.cacheanalysis.extraction import _simulate
+
+            demands = []
+            for choice in node.choices:
+                _, tally = _simulate(choice, self.state)
+                demands.append(tally.demand)
+            worst = demands.index(max(demands))
+            self.emit(node.choices[worst])
+            return
+        raise ProgramError(f"unknown node type: {type(node).__name__}")
+
+
+def worst_case_trace(
+    program: Program,
+    geometry: CacheGeometry,
+    max_steps: int = 1_000_000,
+) -> List[TraceStep]:
+    """Lower ``program`` to a concrete worst-demand trace.
+
+    Loops are fully unrolled (the returned list has one step per memory
+    access), so simulator workloads should use programs with modest loop
+    bounds — see :meth:`repro.program.cfg.Program.scaled`.
+    """
+    builder = _TraceBuilder(geometry, max_steps)
+    builder.emit(program.root)
+    return builder.steps

@@ -1,0 +1,151 @@
+"""JSON (de)serialisation of the core model and analysis results.
+
+Lets users archive generated task sets, exchange scenarios between tools,
+and store experiment outputs.  The format is plain JSON with an explicit
+``format`` tag and version so files stay readable as the library evolves:
+
+.. code-block:: json
+
+    {
+      "format": "repro-taskset",
+      "version": 1,
+      "platform": {"num_cores": 4, "d_mem": 10, ...},
+      "tasks": [{"name": "fdct#c0t1", "pd": 6550, ...}, ...]
+    }
+
+Round-trip fidelity is exact: every field of :class:`~repro.model.task.Task`
+and :class:`~repro.model.platform.Platform` survives, with cache-set sets
+stored as sorted lists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from repro.errors import ModelError
+from repro.model.platform import BusPolicy, CacheGeometry, Platform
+from repro.model.task import Task, TaskSet
+
+#: Current on-disk format version.
+FORMAT_VERSION = 1
+
+_TASKSET_TAG = "repro-taskset"
+
+PathLike = Union[str, Path]
+
+
+def platform_to_dict(platform: Platform) -> Dict:
+    """Plain-dict form of a platform."""
+    return {
+        "num_cores": platform.num_cores,
+        "cache": {
+            "num_sets": platform.cache.num_sets,
+            "block_size": platform.cache.block_size,
+        },
+        "d_mem": platform.d_mem,
+        "bus_policy": platform.bus_policy.value,
+        "slot_size": platform.slot_size,
+    }
+
+
+def platform_from_dict(data: Dict) -> Platform:
+    """Inverse of :func:`platform_to_dict`."""
+    try:
+        cache = CacheGeometry(
+            num_sets=data["cache"]["num_sets"],
+            block_size=data["cache"]["block_size"],
+        )
+        return Platform(
+            num_cores=data["num_cores"],
+            cache=cache,
+            d_mem=data["d_mem"],
+            bus_policy=BusPolicy(data["bus_policy"]),
+            slot_size=data["slot_size"],
+        )
+    except (KeyError, ValueError) as error:
+        raise ModelError(f"malformed platform record: {error}") from error
+
+
+def task_to_dict(task: Task) -> Dict:
+    """Plain-dict form of a task."""
+    return {
+        "name": task.name,
+        "pd": task.pd,
+        "md": task.md,
+        "md_r": task.md_r,
+        "period": task.period,
+        "deadline": task.deadline,
+        "priority": task.priority,
+        "core": task.core,
+        "ecbs": sorted(task.ecbs),
+        "ucbs": sorted(task.ucbs),
+        "pcbs": sorted(task.pcbs),
+    }
+
+
+def task_from_dict(data: Dict) -> Task:
+    """Inverse of :func:`task_to_dict`."""
+    try:
+        return Task(
+            name=data["name"],
+            pd=data["pd"],
+            md=data["md"],
+            md_r=data.get("md_r"),
+            period=data["period"],
+            deadline=data["deadline"],
+            priority=data["priority"],
+            core=data.get("core", 0),
+            ecbs=frozenset(data.get("ecbs", ())),
+            ucbs=frozenset(data.get("ucbs", ())),
+            pcbs=frozenset(data.get("pcbs", ())),
+        )
+    except KeyError as error:
+        raise ModelError(f"malformed task record: missing {error}") from error
+
+
+def taskset_to_json(
+    taskset: TaskSet, platform: Platform, indent: int = 2
+) -> str:
+    """Serialise a task set plus its platform to a JSON string."""
+    document = {
+        "format": _TASKSET_TAG,
+        "version": FORMAT_VERSION,
+        "platform": platform_to_dict(platform),
+        "tasks": [task_to_dict(task) for task in taskset],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def taskset_from_json(text: str) -> Tuple[TaskSet, Platform]:
+    """Inverse of :func:`taskset_to_json`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ModelError(f"not valid JSON: {error}") from error
+    if document.get("format") != _TASKSET_TAG:
+        raise ModelError(
+            f"unexpected format tag {document.get('format')!r}; "
+            f"expected {_TASKSET_TAG!r}"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported format version {document.get('version')!r}"
+        )
+    platform = platform_from_dict(document.get("platform", {}))
+    tasks = [task_from_dict(record) for record in document.get("tasks", [])]
+    return TaskSet(tasks), platform
+
+
+def save_taskset(
+    taskset: TaskSet, platform: Platform, path: PathLike
+) -> None:
+    """Write a task set (and platform) to ``path`` as JSON."""
+    Path(path).write_text(taskset_to_json(taskset, platform))
+
+
+def load_taskset(path: PathLike) -> Tuple[TaskSet, Platform]:
+    """Read a task set (and platform) previously saved with
+    :func:`save_taskset`."""
+    return taskset_from_json(Path(path).read_text())

@@ -1,0 +1,45 @@
+"""Discrete-event multicore simulator (validation substrate)."""
+
+from repro.sim.bus import (
+    BusArbiter,
+    BusRequest,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+    make_arbiter,
+)
+from repro.sim.engine import MulticoreSimulator, simulate
+from repro.sim.scenario import Scenario, ScenarioSpec, build_scenario
+from repro.sim.validation import CampaignResult, ScenarioReport, run_campaign
+from repro.sim.metrics import BusWaitStats, JobRecord, SimulationResult, TaskStats
+from repro.sim.workload import (
+    ReleasePlan,
+    SimWorkload,
+    periodic_releases,
+    workload_from_programs,
+)
+
+__all__ = [
+    "BusArbiter",
+    "BusRequest",
+    "FixedPriorityArbiter",
+    "RoundRobinArbiter",
+    "TdmaArbiter",
+    "make_arbiter",
+    "MulticoreSimulator",
+    "Scenario",
+    "ScenarioSpec",
+    "build_scenario",
+    "CampaignResult",
+    "ScenarioReport",
+    "run_campaign",
+    "simulate",
+    "BusWaitStats",
+    "JobRecord",
+    "SimulationResult",
+    "TaskStats",
+    "ReleasePlan",
+    "SimWorkload",
+    "periodic_releases",
+    "workload_from_programs",
+]

@@ -1,0 +1,167 @@
+"""Cycle-granular memory bus arbiters for the simulator.
+
+One bus transaction occupies the bus for ``d_mem`` cycles and is never
+preempted once started.  The arbiter decides which pending request is
+served when the bus becomes available:
+
+* :class:`FixedPriorityArbiter` — requests inherit the priority of the
+  issuing task; ties broken by arrival time (work conserving).
+* :class:`RoundRobinArbiter` — a token rotates over the cores; the token
+  holder may issue up to ``slot_size`` consecutive transactions, and empty
+  cores are skipped immediately (work conserving).
+* :class:`TdmaArbiter` — time is divided into slots of ``d_mem`` cycles;
+  core ``c`` owns slots ``c*s .. (c+1)*s - 1`` of every cycle of
+  ``m*s`` slots and may only *start* a transaction inside its own window
+  with enough of the window left to finish it (non-work conserving: the
+  bus idles through unowned or unused slots).
+
+The perfect bus needs no arbiter: the engine services such requests
+immediately and in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.model.platform import Platform
+
+
+@dataclass(order=True)
+class BusRequest:
+    """One outstanding memory transaction.
+
+    Ordering is (priority, arrival, sequence) so that a heap of requests
+    pops the highest-priority, oldest request first.
+    """
+
+    priority: int
+    arrival: int
+    sequence: int
+    core: int = field(compare=False)
+    payload: object = field(compare=False, default=None)
+
+
+class BusArbiter:
+    """Common queueing behaviour; subclasses implement selection."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self._pending: List[BusRequest] = []
+
+    def enqueue(self, request: BusRequest) -> None:
+        """Add a request to the pending pool."""
+        self._pending.append(request)
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether any request is waiting."""
+        return bool(self._pending)
+
+    def select(self, now: int) -> Optional[Tuple[BusRequest, int]]:
+        """Pick the next request and its start time (``>= now``).
+
+        Returns ``None`` when nothing is pending.  Must only be called when
+        the bus is free.  The returned request is removed from the pool.
+        """
+        raise NotImplementedError
+
+
+class FixedPriorityArbiter(BusArbiter):
+    """Highest task priority first, FIFO among equals (Eq. 7 counterpart)."""
+
+    def select(self, now: int) -> Optional[Tuple[BusRequest, int]]:
+        if not self._pending:
+            return None
+        best = min(self._pending)
+        self._pending.remove(best)
+        return best, now
+
+
+class RoundRobinArbiter(BusArbiter):
+    """Rotating token with ``slot_size`` transactions per visit (Eq. 8)."""
+
+    def __init__(self, platform: Platform):
+        super().__init__(platform)
+        self._token = 0
+        self._served = 0
+
+    def _pending_on(self, core: int) -> Optional[BusRequest]:
+        candidates = [r for r in self._pending if r.core == core]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (r.arrival, r.sequence))
+
+    def select(self, now: int) -> Optional[Tuple[BusRequest, int]]:
+        if not self._pending:
+            return None
+        for _ in range(self.platform.num_cores + 1):
+            if self._served < self.platform.slot_size:
+                request = self._pending_on(self._token)
+                if request is not None:
+                    self._served += 1
+                    self._pending.remove(request)
+                    return request, now
+            self._token = (self._token + 1) % self.platform.num_cores
+            self._served = 0
+        raise SimulationError("round-robin arbiter failed to find a request")
+
+
+class TdmaArbiter(BusArbiter):
+    """Static slot table; transactions start inside the owner's window.
+
+    A transaction may start at any instant of its core's window and, once
+    started, runs to completion even if it overruns into the next window
+    (transactions are not preemptable).  This matches the accounting of
+    Eq. (9): each access waits at most the other cores' ``(L-1) * s`` slots
+    for its window, with the trailing ``+1`` absorbing one in-service
+    overrun.
+    """
+
+    def earliest_start(self, core: int, now: int) -> int:
+        """First instant ``>= now`` inside a window owned by ``core``."""
+        window = self.platform.slot_size * self.platform.d_mem
+        cycle = self.platform.num_cores * window
+        window_start = core * window
+        offset = now % cycle
+        candidate_cycle_base = now - offset
+        for base in (candidate_cycle_base, candidate_cycle_base + cycle):
+            start = base + window_start
+            if now <= start:
+                return start
+            if start <= now < start + window:
+                return now
+        raise SimulationError("TDMA slot search failed")  # pragma: no cover
+
+    def select(self, now: int) -> Optional[Tuple[BusRequest, int]]:
+        if not self._pending:
+            return None
+        best = None
+        best_key = None
+        for request in self._pending:
+            start = self.earliest_start(request.core, now)
+            key = (start, request.priority, request.arrival, request.sequence)
+            if best_key is None or key < best_key:
+                best, best_key = request, key
+        self._pending.remove(best)
+        return best, best_key[0]
+
+
+def make_arbiter(platform: Platform) -> Optional[BusArbiter]:
+    """Instantiate the arbiter matching ``platform.bus_policy``.
+
+    Returns ``None`` for the perfect bus (requests are served in parallel
+    without arbitration).
+    """
+    from repro.model.platform import BusPolicy
+
+    if platform.bus_policy is BusPolicy.FP:
+        return FixedPriorityArbiter(platform)
+    if platform.bus_policy is BusPolicy.RR:
+        return RoundRobinArbiter(platform)
+    if platform.bus_policy is BusPolicy.TDMA:
+        return TdmaArbiter(platform)
+    if platform.bus_policy is BusPolicy.PERFECT:
+        return None
+    raise SimulationError(f"unsupported bus policy {platform.bus_policy!r}")

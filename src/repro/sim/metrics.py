@@ -1,0 +1,110 @@
+"""Result collection for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.model.task import Task
+
+
+@dataclass
+class JobRecord:
+    """Observed behaviour of one simulated job."""
+
+    release: int
+    finish: Optional[int] = None
+    bus_accesses: int = 0
+    cache_hits: int = 0
+
+    @property
+    def response_time(self) -> Optional[int]:
+        """Finish minus release, or ``None`` for an unfinished job."""
+        if self.finish is None:
+            return None
+        return self.finish - self.release
+
+
+@dataclass
+class TaskStats:
+    """Aggregated observations for one task."""
+
+    task: Task
+    jobs: List[JobRecord] = field(default_factory=list)
+
+    @property
+    def completed_jobs(self) -> List[JobRecord]:
+        """Jobs that finished inside the simulation horizon."""
+        return [j for j in self.jobs if j.finish is not None]
+
+    @property
+    def max_response_time(self) -> Optional[int]:
+        """Largest observed response time, or ``None`` if nothing finished."""
+        responses = [j.response_time for j in self.completed_jobs]
+        return max(responses) if responses else None
+
+    @property
+    def deadline_misses(self) -> int:
+        """Completed jobs that exceeded the deadline plus unfinished jobs
+        whose deadline lies within the horizon are counted by the engine;
+        here only completed overruns are visible."""
+        return sum(
+            1
+            for j in self.completed_jobs
+            if j.response_time > self.task.deadline
+        )
+
+    @property
+    def total_bus_accesses(self) -> int:
+        """Bus transactions issued across all jobs."""
+        return sum(j.bus_accesses for j in self.jobs)
+
+    @property
+    def max_job_bus_accesses(self) -> int:
+        """Largest per-job bus transaction count."""
+        return max((j.bus_accesses for j in self.jobs), default=0)
+
+
+@dataclass
+class BusWaitStats:
+    """Queueing statistics of one core's bus transactions."""
+
+    count: int = 0
+    total_wait: int = 0
+    max_wait: int = 0
+
+    def record(self, wait: int) -> None:
+        """Fold one transaction's waiting time into the statistics."""
+        self.count += 1
+        self.total_wait += wait
+        if wait > self.max_wait:
+            self.max_wait = wait
+
+    @property
+    def mean_wait(self) -> float:
+        """Average cycles a transaction waited before service."""
+        return self.total_wait / self.count if self.count else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    horizon: int
+    stats: Dict[Task, TaskStats]
+    bus_busy: int = 0
+    bus_waits: Dict[int, BusWaitStats] = field(default_factory=dict)
+
+    def of(self, task: Task) -> TaskStats:
+        """Stats of one task."""
+        return self.stats[task]
+
+    @property
+    def any_deadline_miss(self) -> bool:
+        """Whether any completed job overran its deadline."""
+        return any(s.deadline_misses for s in self.stats.values())
+
+    @property
+    def bus_utilization(self) -> float:
+        """Fraction of the horizon the bus spent serving transactions."""
+        return self.bus_busy / self.horizon if self.horizon else 0.0

@@ -1,0 +1,169 @@
+"""Randomised analysis-versus-simulation validation campaigns.
+
+Bundles the pattern used throughout the integration tests into a reusable
+tool: generate random scenarios whose task parameters are extracted from
+the very programs the simulator executes, analyse them, simulate them, and
+check that no observed response time exceeds its analytical bound.
+
+A campaign is the library's strongest internal consistency check — it
+exercises the program models, the static cache analysis, the CRPD/CPRO
+bounds, all four bus arbiters on both sides (analytical and simulated),
+and the WCRT fixed point in one go.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.wcrt import analyze_taskset
+from repro.errors import SimulationError
+from repro.model.platform import BusPolicy, CacheGeometry, Platform
+from repro.program.malardalen import benchmark_names
+from repro.sim.engine import simulate
+from repro.sim.scenario import ScenarioSpec, build_scenario
+from repro.sim.workload import workload_from_programs
+
+#: Benchmarks whose scaled traces stay short enough for quick simulation.
+_LIGHT_BENCHMARKS = (
+    "lcdnum",
+    "bs",
+    "cnt",
+    "fibcall",
+    "insertsort",
+    "ns",
+    "sqrt",
+    "janne_complex",
+)
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one scenario of a campaign."""
+
+    policy: BusPolicy
+    schedulable: bool
+    checked_tasks: int = 0
+    violations: List[str] = field(default_factory=list)
+    min_slack: float = 1.0
+
+    @property
+    def passed(self) -> bool:
+        """No observed response time exceeded its bound."""
+        return not self.violations
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a validation campaign."""
+
+    reports: List[ScenarioReport] = field(default_factory=list)
+
+    @property
+    def scenarios(self) -> int:
+        """Number of scenarios that were analysed and simulated."""
+        return len(self.reports)
+
+    @property
+    def violations(self) -> List[str]:
+        """All bound violations across the campaign (empty = success)."""
+        return [v for report in self.reports for v in report.violations]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every scenario respected its analytical bounds."""
+        return not self.violations
+
+    @property
+    def min_slack(self) -> float:
+        """Tightest relative margin (bound - observed) / bound seen."""
+        return min((r.min_slack for r in self.reports), default=1.0)
+
+
+def run_campaign(
+    scenarios: int = 10,
+    seed: int = 0,
+    policies: Sequence[BusPolicy] = (
+        BusPolicy.FP,
+        BusPolicy.RR,
+        BusPolicy.TDMA,
+        BusPolicy.PERFECT,
+    ),
+    hyperperiods: int = 12,
+    jitter: float = 0.0,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> CampaignResult:
+    """Run ``scenarios`` random analysis-vs-simulation checks.
+
+    Each scenario draws 3-5 light benchmarks, places them on two cores with
+    random period factors and memory layout gaps, rotates through the given
+    bus policies, and simulates ``hyperperiods`` times the largest period.
+    Unschedulable scenarios are skipped (the analysis makes no promise to
+    validate there).
+    """
+    if scenarios <= 0:
+        raise SimulationError(f"scenarios must be positive, got {scenarios}")
+    pool = tuple(benchmarks) if benchmarks else _LIGHT_BENCHMARKS
+    unknown = set(pool) - set(benchmark_names())
+    if unknown:
+        raise SimulationError(f"unknown benchmarks: {sorted(unknown)}")
+    result = CampaignResult()
+    rng = random.Random(seed)
+    config = AnalysisConfig(persistence=True, tdma_slot_alignment=True)
+    for index in range(scenarios):
+        policy = policies[index % len(policies)]
+        names = list(pool)
+        rng.shuffle(names)
+        specs = [
+            ScenarioSpec(
+                name,
+                core=position % 2,
+                period_factor=rng.randint(5, 12),
+            )
+            for position, name in enumerate(names[: rng.randint(3, 5)])
+        ]
+        platform = Platform(
+            num_cores=2,
+            cache=CacheGeometry(num_sets=256),
+            d_mem=10,
+            bus_policy=policy,
+            slot_size=2,
+        )
+        scenario = build_scenario(specs, platform, rng=rng)
+        analysis = analyze_taskset(scenario.taskset, platform, config)
+        report = ScenarioReport(policy=policy, schedulable=analysis.schedulable)
+        if analysis.schedulable:
+            workload = workload_from_programs(
+                scenario.taskset, platform, scenario.programs
+            )
+            duration = int(max(t.period for t in scenario.taskset)) * hyperperiods
+            observed = simulate(
+                workload,
+                platform,
+                duration=duration,
+                jitter=jitter,
+                rng=rng if jitter > 0 else None,
+            )
+            for task in scenario.taskset:
+                stats = observed.of(task)
+                bound = analysis.response_time(task)
+                peak = stats.max_response_time
+                if peak is None:
+                    continue
+                report.checked_tasks += 1
+                slack = (bound - peak) / bound if bound else 0.0
+                report.min_slack = min(report.min_slack, slack)
+                if peak > bound:
+                    report.violations.append(
+                        f"{policy.value}:{task.name}: observed {peak} "
+                        f"> bound {bound}"
+                    )
+                if stats.max_job_bus_accesses > task.md:
+                    report.violations.append(
+                        f"{policy.value}:{task.name}: accesses "
+                        f"{stats.max_job_bus_accesses} > MD {task.md}"
+                    )
+        result.reports.append(report)
+    return result

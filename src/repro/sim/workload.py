@@ -1,0 +1,105 @@
+"""Simulation workloads: tasks bound to executable traces.
+
+The analytical side of the library treats a task as a bag of numbers
+(``PD``, ``MD``, ...).  The simulator needs something executable: a
+sequence of :class:`~repro.program.trace.TraceStep` (compute for a while,
+then fetch a memory block through the cache or issue an uncached request).
+A :class:`SimWorkload` pairs every task of a task set with such a trace,
+normally lowered from the task's synthetic benchmark program.
+
+Releases are sporadic: job ``k+1`` arrives at least one period after job
+``k``, plus an optional random inter-arrival slack — the worst case
+(pure periodic) is ``jitter = 0``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.model.platform import Platform
+from repro.model.task import Task, TaskSet
+from repro.program.cfg import Program
+from repro.program.trace import TraceStep, worst_case_trace
+
+
+@dataclass(frozen=True)
+class SimWorkload:
+    """A task set plus one executable trace per task."""
+
+    taskset: TaskSet
+    traces: Mapping[Task, Tuple[TraceStep, ...]]
+
+    def __post_init__(self) -> None:
+        for task in self.taskset:
+            if task not in self.traces:
+                raise SimulationError(f"no trace bound to task {task.name!r}")
+            if not self.traces[task]:
+                raise SimulationError(f"empty trace for task {task.name!r}")
+
+    def trace_of(self, task: Task) -> Tuple[TraceStep, ...]:
+        """The executable trace of ``task``."""
+        return self.traces[task]
+
+
+def workload_from_programs(
+    taskset: TaskSet,
+    platform: Platform,
+    programs: Mapping[Task, Program],
+    max_steps: int = 1_000_000,
+) -> SimWorkload:
+    """Lower each task's program to a trace at the platform's geometry."""
+    traces: Dict[Task, Tuple[TraceStep, ...]] = {}
+    for task in taskset:
+        if task not in programs:
+            raise SimulationError(f"no program bound to task {task.name!r}")
+        steps = worst_case_trace(programs[task], platform.cache, max_steps)
+        traces[task] = tuple(steps)
+    return SimWorkload(taskset=taskset, traces=traces)
+
+
+@dataclass
+class ReleasePlan:
+    """Precomputed job release instants for one simulation run."""
+
+    releases: Dict[Task, List[int]] = field(default_factory=dict)
+
+    def of(self, task: Task) -> List[int]:
+        """Release instants of ``task``, ascending."""
+        return self.releases[task]
+
+
+def periodic_releases(
+    taskset: TaskSet,
+    duration: int,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> ReleasePlan:
+    """Sporadic release plan over ``[0, duration)``.
+
+    With ``jitter = 0`` every task releases synchronously at time 0 and
+    strictly periodically afterwards — the classical critical-instant
+    scenario.  A positive ``jitter`` stretches each inter-arrival time by a
+    uniform random fraction up to ``jitter`` of the period (still legal for
+    sporadic tasks, whose periods are only minimum inter-arrival times).
+    """
+    if duration <= 0:
+        raise SimulationError(f"duration must be positive, got {duration}")
+    if jitter < 0:
+        raise SimulationError(f"jitter must be non-negative, got {jitter}")
+    if jitter > 0 and rng is None:
+        raise SimulationError("a random source is required for jittered releases")
+    plan = ReleasePlan()
+    for task in taskset:
+        instants: List[int] = []
+        time = 0
+        while time < duration:
+            instants.append(time)
+            gap = int(task.period)
+            if jitter > 0:
+                gap += int(rng.random() * jitter * task.period)
+            time += max(gap, 1)
+        plan.releases[task] = instants
+    return plan

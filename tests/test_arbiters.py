@@ -1,0 +1,165 @@
+"""Unit tests for the per-policy BAT bounds (Eq. 7-9)."""
+
+import pytest
+
+from repro.businterference.arbiters import blocking_accesses, total_bus_accesses
+from repro.businterference.context import AnalysisContext
+from repro.businterference.requests import bao, bao_low, bas
+from repro.errors import AnalysisError
+from repro.model.platform import BusPolicy, Platform
+from repro.model.task import Task, TaskSet
+
+
+def make_task(name, priority, core, md=6, md_r=2, period=200):
+    return Task(
+        name=name,
+        pd=50,
+        md=md,
+        md_r=md_r,
+        period=period,
+        deadline=period,
+        priority=priority,
+        core=core,
+        ecbs=frozenset(range(md)),
+        ucbs=frozenset(range(md // 2)),
+        pcbs=frozenset(range(md // 2, md)),
+    )
+
+
+@pytest.fixture()
+def system():
+    t1 = make_task("t1", 1, 0, period=100)
+    t2 = make_task("t2", 2, 0, period=400)
+    t3 = make_task("t3", 3, 1, period=150)
+    t4 = make_task("t4", 4, 1, period=500)
+    taskset = TaskSet([t1, t2, t3, t4])
+    return taskset, t1, t2, t3, t4
+
+
+def ctx_for(taskset, policy, **platform_kwargs):
+    platform = Platform(num_cores=2, d_mem=10, bus_policy=policy, **platform_kwargs)
+    return AnalysisContext(taskset=taskset, platform=platform, persistence=True)
+
+
+class TestBlocking:
+    def test_blocking_only_with_same_core_lower_priority(self, system):
+        taskset, t1, t2, t3, t4 = system
+        ctx = ctx_for(taskset, BusPolicy.FP)
+        assert blocking_accesses(ctx, t1) == 1  # t2 is below t1 on core 0
+        assert blocking_accesses(ctx, t2) == 0  # nothing below t2 on core 0
+        assert blocking_accesses(ctx, t3) == 1
+        assert blocking_accesses(ctx, t4) == 0
+
+
+class TestFpBat:
+    def test_composition(self, system):
+        taskset, t1, t2, t3, t4 = system
+        ctx = ctx_for(taskset, BusPolicy.FP)
+        t = 600
+        own = bas(ctx, t2, t)
+        higher = bao(ctx, 1, t2, t)
+        lower = bao_low(ctx, 1, t2, t)
+        expected = own + higher + min(own, lower)  # no +1 for t2
+        assert total_bus_accesses(ctx, t2, t) == expected
+
+    def test_lower_priority_traffic_capped_by_own_demand(self, system):
+        taskset, t1, t2, t3, t4 = system
+        ctx = ctx_for(taskset, BusPolicy.FP)
+        t = 600
+        own = bas(ctx, t1, t)
+        assert total_bus_accesses(ctx, t1, t) <= own + bao(ctx, 1, t1, t) + 1 + own
+
+
+class TestRrBat:
+    def test_remote_capped_by_slots(self, system):
+        taskset, t1, t2, t3, t4 = system
+        ctx = ctx_for(taskset, BusPolicy.RR, slot_size=1)
+        t = 600
+        own = bas(ctx, t2, t)
+        lowest = taskset.lowest_priority_task
+        remote = min(bao(ctx, 1, lowest, t), ctx.platform.slot_size * own)
+        assert total_bus_accesses(ctx, t2, t) == own + remote
+
+    def test_slot_size_increases_bound(self, system):
+        taskset, t1, t2, t3, t4 = system
+        t = 600
+        small = ctx_for(taskset, BusPolicy.RR, slot_size=1)
+        large = ctx_for(taskset, BusPolicy.RR, slot_size=4)
+        assert total_bus_accesses(small, t2, t) <= total_bus_accesses(large, t2, t)
+
+    def test_counts_all_remote_tasks_not_just_hep(self, system):
+        taskset, t1, t2, t3, t4 = system
+        ctx = ctx_for(taskset, BusPolicy.RR, slot_size=6)
+        t = 600
+        lowest = taskset.lowest_priority_task
+        # With a huge slot cap the remote term equals BAO over ALL tasks on
+        # core 1 (priority level n), including tasks below t2's priority.
+        assert total_bus_accesses(ctx, t2, t) == bas(ctx, t2, t) + bao(
+            ctx, 1, lowest, t
+        )
+
+
+class TestTdmaBat:
+    def test_independent_of_remote_demand(self, system):
+        taskset, t1, t2, t3, t4 = system
+        ctx = ctx_for(taskset, BusPolicy.TDMA)
+        t = 600
+        # Doubling the remote tasks' demand leaves the TDMA bound unchanged.
+        heavy = TaskSet(
+            [
+                t1,
+                t2,
+                make_task("t3", 3, 1, md=60, md_r=60, period=150),
+                make_task("t4", 4, 1, md=60, md_r=60, period=500),
+            ]
+        )
+        heavy_ctx = ctx_for(heavy, BusPolicy.TDMA)
+        assert total_bus_accesses(ctx, t2, t) == total_bus_accesses(heavy_ctx, heavy.tasks[1], t)
+
+    def test_formula(self, system):
+        taskset, t1, t2, t3, t4 = system
+        ctx = ctx_for(taskset, BusPolicy.TDMA, slot_size=3)
+        t = 600
+        own = bas(ctx, t2, t)
+        wait = (2 - 1) * 3
+        assert total_bus_accesses(ctx, t2, t) == own + wait * own
+
+    def test_alignment_safe_variant_is_larger(self, system):
+        taskset, t1, t2, t3, t4 = system
+        faithful = ctx_for(taskset, BusPolicy.TDMA)
+        safe = ctx_for(taskset, BusPolicy.TDMA)
+        safe.tdma_slot_alignment = True
+        t = 600
+        assert total_bus_accesses(safe, t2, t) > total_bus_accesses(faithful, t2, t)
+
+
+class TestPerfectBat:
+    def test_equals_bas(self, system):
+        taskset, t1, t2, t3, t4 = system
+        ctx = ctx_for(taskset, BusPolicy.PERFECT)
+        t = 600
+        assert total_bus_accesses(ctx, t2, t) == bas(ctx, t2, t)
+
+
+class TestPolicyOrdering:
+    def test_perfect_is_least_pessimistic(self, system):
+        taskset, t1, t2, t3, t4 = system
+        t = 600
+        perfect = total_bus_accesses(ctx_for(taskset, BusPolicy.PERFECT), t2, t)
+        for policy in (BusPolicy.FP, BusPolicy.RR, BusPolicy.TDMA):
+            assert total_bus_accesses(ctx_for(taskset, policy), t2, t) >= perfect
+
+
+class TestTdmaAlignmentFormula:
+    def test_alignment_adds_exactly_one_slot_per_access(self, system):
+        taskset, t1, t2, t3, t4 = system
+        faithful = ctx_for(taskset, BusPolicy.TDMA, slot_size=3)
+        safe = ctx_for(taskset, BusPolicy.TDMA, slot_size=3)
+        safe.tdma_slot_alignment = True
+        t = 600
+        own = bas(faithful, t2, t)
+        assert (
+            total_bus_accesses(safe, t2, t)
+            - total_bus_accesses(faithful, t2, t)
+            == own
+        )

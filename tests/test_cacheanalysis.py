@@ -1,0 +1,240 @@
+"""Unit tests for the static cache analysis (extraction) machinery."""
+
+import pytest
+
+from repro.cacheanalysis.extraction import (
+    evicting_sets,
+    extract_parameters,
+    extract_parameters_cached,
+    persistent_blocks,
+)
+from repro.cacheanalysis.simulator import simulate_trace
+from repro.cacheanalysis.state import DirectMappedCache
+from repro.model.platform import CacheGeometry
+from repro.program.cfg import Alt, Block, Loop, Program, Seq
+
+GEO = CacheGeometry(num_sets=16, block_size=32)
+
+
+def line_block(line, n_lines=1, uncached=0):
+    return Block(start=line * 32, n_instructions=8 * n_lines, uncached=uncached)
+
+
+class TestDirectMappedCache:
+    def test_cold_miss_then_hit(self):
+        cache = DirectMappedCache(GEO)
+        assert not cache.access(5)
+        assert cache.access(5)
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedCache(GEO)
+        cache.access(5)
+        cache.access(5 + 16)  # same set
+        assert not cache.lookup(5)
+        assert cache.lookup(21)
+
+    def test_lookup_does_not_mutate(self):
+        cache = DirectMappedCache(GEO)
+        assert not cache.lookup(3)
+        assert not cache.lookup(3)
+
+    def test_evict_sets(self):
+        cache = DirectMappedCache(GEO)
+        cache.access(1)
+        cache.access(2)
+        assert cache.evict_sets([1, 2, 3]) == 2
+        assert not cache.lookup(1)
+
+    def test_with_resident_blocks(self):
+        cache = DirectMappedCache.with_resident_blocks(GEO, [4, 20])
+        # 4 and 20 conflict on set 4: the later one wins.
+        assert cache.lookup(20)
+        assert not cache.lookup(4)
+
+    def test_copy_is_independent(self):
+        cache = DirectMappedCache(GEO)
+        cache.access(1)
+        clone = cache.copy()
+        clone.access(17)  # evicts 1 in the clone only
+        assert cache.lookup(1)
+        assert not clone.lookup(1)
+
+    def test_key_is_order_insensitive(self):
+        a = DirectMappedCache(GEO)
+        a.access(1)
+        a.access(2)
+        b = DirectMappedCache(GEO)
+        b.access(2)
+        b.access(1)
+        assert a.key() == b.key()
+
+    def test_intersect(self):
+        a = DirectMappedCache.with_resident_blocks(GEO, [1, 2, 3])
+        b = DirectMappedCache.with_resident_blocks(GEO, [1, 2, 19])
+        joined = a.intersect(b)
+        assert joined.lookup(1) and joined.lookup(2)
+        assert not joined.lookup(3) and not joined.lookup(19)
+
+    def test_equality(self):
+        a = DirectMappedCache.with_resident_blocks(GEO, [1])
+        b = DirectMappedCache.with_resident_blocks(GEO, [1])
+        assert a == b
+        b.access(2)
+        assert a != b
+
+
+class TestStructuralSets:
+    def test_ecbs_are_touched_sets(self):
+        program = Program(name="p", root=Seq(line_block(0), line_block(5)))
+        assert evicting_sets(program, GEO) == frozenset({0, 5})
+
+    def test_ecbs_wrap_modulo_cache(self):
+        program = Program(name="p", root=Seq(line_block(1), line_block(17)))
+        assert evicting_sets(program, GEO) == frozenset({1})
+
+    def test_pcbs_unique_mapping_only(self):
+        program = Program(
+            name="p", root=Seq(line_block(1), line_block(2), line_block(17))
+        )
+        # Lines 1 and 17 conflict on set 1; line 2 is alone on set 2.
+        assert persistent_blocks(program, GEO) == frozenset({2})
+
+    def test_pcbs_count_any_path(self):
+        program = Program(name="p", root=Alt(line_block(1), line_block(17)))
+        # Even though the two conflicting lines are on different branches,
+        # neither is persistent (a job may take either path over time).
+        assert persistent_blocks(program, GEO) == frozenset()
+
+
+class TestExtractionStraightLine:
+    def test_single_pass_counts(self):
+        program = Program(name="p", root=line_block(0, n_lines=4))
+        params = extract_parameters(program, GEO)
+        assert params.md == 4
+        assert params.md_r == 0  # all four lines are persistent
+        assert params.pd == 32
+        assert len(params.ecbs) == 4
+        assert params.pcbs == params.ecbs
+        assert params.ucbs == frozenset()  # nothing is re-used
+
+    def test_uncached_traffic_in_both_demands(self):
+        program = Program(name="p", root=line_block(0, uncached=7))
+        params = extract_parameters(program, GEO)
+        assert params.md == 1 + 7
+        assert params.md_r == 7
+
+    def test_loop_makes_blocks_useful(self):
+        program = Program(name="p", root=Loop(line_block(0, n_lines=3), bound=5))
+        params = extract_parameters(program, GEO)
+        assert params.md == 3  # persistent: only cold misses
+        assert params.ucbs == params.ecbs
+
+    def test_conflicting_loop_generates_repeated_misses(self):
+        body = Seq(line_block(1), line_block(17))  # same set, alternating
+        program = Program(name="p", root=Loop(body, bound=10))
+        params = extract_parameters(program, GEO)
+        assert params.md == 20
+        assert params.md_r == 20  # nothing persistent
+        assert params.pcbs == frozenset()
+
+    def test_matches_exact_trace_simulation(self):
+        # For a branch-free program the structural extraction must equal a
+        # full unrolled trace simulation.
+        body = Seq(line_block(0, n_lines=2), line_block(16), line_block(3))
+        program = Program(name="p", root=Seq(line_block(5), Loop(body, bound=7)))
+        params = extract_parameters(program, GEO)
+        trace = [5] + [0, 1, 16, 3] * 7
+        result = simulate_trace(trace, GEO)
+        assert params.md == result.misses
+        assert params.ucbs == result.hit_sets
+
+
+class TestExtractionBranches:
+    def test_alt_takes_worst_demand(self):
+        program = Program(
+            name="p",
+            root=Alt(line_block(0, n_lines=5), line_block(8, n_lines=2)),
+        )
+        params = extract_parameters(program, GEO)
+        assert params.md == 5
+
+    def test_alt_union_for_ucbs(self):
+        heavy = Loop(line_block(0, n_lines=4), bound=3)
+        light = Loop(line_block(8, n_lines=1), bound=3)
+        program = Program(name="p", root=Alt(heavy, light))
+        params = extract_parameters(program, GEO)
+        # Useful sets from both branches are unioned.
+        assert frozenset({0, 1, 2, 3, 8}) == params.ucbs
+
+    def test_alt_join_is_sound_upper_bound(self):
+        # After the branch the analysis must not assume branch-specific
+        # content: a block loaded in only one branch misses again.
+        program = Program(
+            name="p",
+            root=Seq(
+                Alt(line_block(0), line_block(1)),
+                line_block(0),
+                line_block(1),
+            ),
+        )
+        params = extract_parameters(program, GEO)
+        # Worst concrete path: take branch line 1 -> misses: 1, then 0
+        # misses, 1 hits = 2 total.  The analysis must report >= 2.
+        assert params.md >= 2
+
+    def test_md_r_never_exceeds_md(self):
+        program = Program(
+            name="p",
+            root=Seq(
+                Alt(line_block(0, n_lines=3), line_block(16, n_lines=3)),
+                Loop(line_block(4, n_lines=2), bound=4),
+            ),
+        )
+        params = extract_parameters(program, GEO)
+        assert params.md_r <= params.md
+
+
+class TestLoopAcceleration:
+    def test_large_bounds_are_fast_and_exact(self):
+        body = Seq(line_block(1), line_block(17), line_block(2))
+        program = Program(name="p", root=Loop(body, bound=100_000))
+        params = extract_parameters(program, GEO)
+        # Per iteration: lines 1 and 17 always miss (conflict), line 2
+        # misses once.
+        assert params.md == 2 * 100_000 + 1
+
+    def test_acceleration_matches_small_unrolled_loop(self):
+        body = Seq(line_block(1), line_block(17), line_block(2))
+        for bound in (1, 2, 3, 5, 9):
+            program = Program(name="p", root=Loop(body, bound=bound))
+            params = extract_parameters(program, GEO)
+            trace = [1, 17, 2] * bound
+            assert params.md == simulate_trace(trace, GEO).misses
+
+    def test_nested_loops(self):
+        inner = Loop(line_block(0, n_lines=2), bound=3)
+        outer = Loop(Seq(inner, line_block(5)), bound=50)
+        program = Program(name="p", root=outer)
+        params = extract_parameters(program, GEO)
+        # Everything is uniquely mapped: 3 cold misses only.
+        assert params.md == 3
+
+
+class TestCachedExtraction:
+    def test_cached_matches_direct(self):
+        program = Program(name="p", root=Loop(line_block(0, n_lines=3), bound=4))
+        assert extract_parameters_cached(program, GEO) == extract_parameters(
+            program, GEO
+        )
+
+    def test_as_task_kwargs_round_trip(self):
+        from repro.model.task import Task
+
+        program = Program(name="p", root=Loop(line_block(0, n_lines=3), bound=4))
+        params = extract_parameters(program, GEO)
+        task = Task(
+            name="p", period=10_000, deadline=10_000, priority=1,
+            **params.as_task_kwargs(),
+        )
+        assert task.md == params.md
+        assert task.pcbs == params.pcbs

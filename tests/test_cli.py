@@ -1,0 +1,49 @@
+"""Tests for the ``repro-experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "lcdnum" in output
+        assert "[table1 completed" in output
+
+    def test_fig2_with_tiny_samples(self, capsys):
+        assert main(["fig2", "--samples", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 2a" in output
+        assert "Maximum persistence-aware gain" in output
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table1", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("Table I") == 2
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_requires_at_least_one_experiment(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_seed_flag_changes_results(self, capsys):
+        main(["fig2", "--samples", "2", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig2", "--samples", "2", "--seed", "1"])
+        second = capsys.readouterr().out
+        # Same seed -> identical series (strip the timing line).
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("[")
+        ]
+        assert strip(first) == strip(second)
+
+    def test_samples_env_override(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "2")
+        assert main(["fig2"]) == 0
+        assert "Fig. 2a" in capsys.readouterr().out

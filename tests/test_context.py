@@ -1,0 +1,58 @@
+"""Unit tests for the shared analysis context."""
+
+import pytest
+
+from repro.businterference.context import AnalysisContext
+from repro.crpd.approaches import CrpdApproach, CrpdCalculator
+from repro.errors import AnalysisError
+from repro.model.platform import Platform
+from repro.model.task import Task, TaskSet
+from repro.persistence.cpro import CproApproach, CproCalculator
+
+
+@pytest.fixture()
+def system():
+    task = Task(name="t", pd=100, md=7, period=1000, deadline=1000, priority=1)
+    taskset = TaskSet([task])
+    platform = Platform(num_cores=1, d_mem=10)
+    return taskset, platform, task
+
+
+class TestDefaults:
+    def test_default_calculators_match_paper(self, system):
+        taskset, platform, task = system
+        ctx = AnalysisContext(taskset=taskset, platform=platform)
+        assert ctx.crpd.approach is CrpdApproach.ECB_UNION
+        assert ctx.cpro.approach is CproApproach.UNION
+        assert ctx.persistence is True
+        assert ctx.persistence_in_low is False
+        assert ctx.tdma_slot_alignment is False
+
+    def test_custom_calculators_kept(self, system):
+        taskset, platform, task = system
+        crpd = CrpdCalculator(taskset, CrpdApproach.NONE)
+        cpro = CproCalculator(taskset, CproApproach.GLOBAL)
+        ctx = AnalysisContext(
+            taskset=taskset, platform=platform, crpd=crpd, cpro=cpro
+        )
+        assert ctx.crpd is crpd
+        assert ctx.cpro is cpro
+
+
+class TestResponseTimes:
+    def test_fallback_is_isolated_wcet(self, system):
+        taskset, platform, task = system
+        ctx = AnalysisContext(taskset=taskset, platform=platform)
+        assert ctx.response_time(task) == 100 + 7 * 10
+
+    def test_set_and_get(self, system):
+        taskset, platform, task = system
+        ctx = AnalysisContext(taskset=taskset, platform=platform)
+        ctx.set_response_time(task, 512)
+        assert ctx.response_time(task) == 512
+
+    def test_rejects_negative_estimate(self, system):
+        taskset, platform, task = system
+        ctx = AnalysisContext(taskset=taskset, platform=platform)
+        with pytest.raises(AnalysisError):
+            ctx.set_response_time(task, -1)

@@ -1,0 +1,219 @@
+"""Smoke and shape tests for the experiment drivers (tiny sample counts)."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_UTILIZATIONS,
+    SweepSettings,
+    Variant,
+    default_platform,
+    settings_from_environment,
+    slot_variants,
+    standard_variants,
+)
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c, run_fig3d
+from repro.experiments.report import format_gaps, format_rows, format_table
+from repro.experiments.runner import (
+    max_gap,
+    run_curve,
+    schedulability_ratios,
+    weighted_measures,
+)
+from repro.experiments.table1 import run_table1
+from repro.errors import AnalysisError
+from repro.model.platform import BusPolicy
+
+TINY = SweepSettings(samples=4, seed=7, utilizations=(0.2, 0.4, 0.6))
+
+
+class TestConfig:
+    def test_paper_grid(self):
+        assert PAPER_UTILIZATIONS[0] == 0.05
+        assert PAPER_UTILIZATIONS[-1] == 1.0
+        assert len(PAPER_UTILIZATIONS) == 20
+
+    def test_standard_variants(self):
+        labels = [v.label for v in standard_variants()]
+        assert labels == ["FP-P", "FP", "RR-P", "RR", "TDMA-P", "TDMA", "Perfect"]
+
+    def test_slot_variants_exclude_fp(self):
+        assert all(v.policy is not BusPolicy.FP for v in slot_variants())
+
+    def test_default_platform_matches_paper(self):
+        platform = default_platform()
+        assert platform.num_cores == 4
+        assert platform.cache.num_sets == 256
+        assert platform.slot_size == 2
+
+    def test_settings_validation(self):
+        with pytest.raises(AnalysisError):
+            SweepSettings(samples=0)
+        with pytest.raises(AnalysisError):
+            SweepSettings(jobs=0)
+        with pytest.raises(AnalysisError):
+            SweepSettings(utilizations=())
+
+    def test_environment_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "17")
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        settings = settings_from_environment()
+        assert settings.samples == 17
+        assert settings.jobs == 3
+
+    def test_explicit_overrides_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "17")
+        assert settings_from_environment(samples=5).samples == 5
+
+
+class TestRunner:
+    def test_outcomes_deterministic(self):
+        platform = default_platform()
+        variants = standard_variants(include_perfect=False)[:2]
+        a = run_curve(platform, variants, TINY)
+        b = run_curve(platform, variants, TINY)
+        for utilization in TINY.utilizations:
+            assert [s.verdicts for s in a[utilization]] == [
+                s.verdicts for s in b[utilization]
+            ]
+
+    def test_ratios_within_unit_interval(self):
+        platform = default_platform()
+        variants = standard_variants(include_perfect=False)[:2]
+        outcomes = run_curve(platform, variants, TINY)
+        ratios = schedulability_ratios(outcomes, variants)
+        for series in ratios.values():
+            assert all(0.0 <= value <= 1.0 for value in series)
+
+    def test_weighted_measures_within_unit_interval(self):
+        platform = default_platform()
+        variants = standard_variants(include_perfect=False)[:2]
+        outcomes = run_curve(platform, variants, TINY)
+        measures = weighted_measures(outcomes, variants)
+        for value in measures.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_max_gap(self):
+        ratios = {"A": [0.9, 0.5], "B": [0.4, 0.45]}
+        assert max_gap(ratios, "A", "B") == pytest.approx(0.5)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(TINY)
+
+    def test_series_cover_grid(self, result):
+        assert result.utilizations == TINY.utilizations
+        for label in ("FP-P", "FP", "RR-P", "RR", "TDMA-P", "TDMA", "Perfect"):
+            assert len(result.ratios[label]) == len(TINY.utilizations)
+
+    def test_persistence_dominates_baseline(self, result):
+        for policy in ("FP", "RR", "TDMA"):
+            aware = result.ratios[f"{policy}-P"]
+            base = result.ratios[policy]
+            assert all(a >= b for a, b in zip(aware, base))
+
+    def test_perfect_dominates_everything(self, result):
+        perfect = result.ratios["Perfect"]
+        for label, series in result.ratios.items():
+            if label != "Perfect":
+                assert all(p >= v for p, v in zip(perfect, series))
+
+    def test_gaps_are_reported(self, result):
+        assert set(result.gaps) == {"FP", "RR", "TDMA"}
+        assert all(0.0 <= gap <= 1.0 for gap in result.gaps.values())
+
+    def test_render_contains_panels(self, result):
+        text = result.render()
+        assert "Fig. 2a" in text and "Fig. 2c" in text
+        assert "percentage points" in text
+
+
+class TestFig3:
+    def test_fig3a_shape(self):
+        result = run_fig3a(TINY, core_counts=(2, 4))
+        assert result.x_values == (2, 4)
+        for label, series in result.measures.items():
+            assert len(series) == 2
+        # More cores -> never easier for the same per-core utilisation.
+        for policy in ("FP-P", "FP"):
+            assert result.measures[policy][1] <= result.measures[policy][0] + 0.25
+
+    def test_fig3b_runs(self):
+        result = run_fig3b(TINY, d_mem_microseconds=(2, 10))
+        assert result.x_values == (2, 10)
+        assert "FP-P" in result.measures
+
+    def test_fig3c_runs_with_hybrid_parameters(self):
+        result = run_fig3c(TINY, cache_sets=(64, 256))
+        assert result.x_values == (64, 256)
+        assert all(0 <= v <= 1 for series in result.measures.values() for v in series)
+
+    def test_fig3d_slot_axis(self):
+        result = run_fig3d(TINY, slot_sizes=(1, 4))
+        assert set(result.measures) == {"RR-P", "RR", "TDMA-P", "TDMA"}
+
+    def test_render(self):
+        result = run_fig3a(TINY, core_counts=(2,))
+        assert "Fig. 3a" in result.render()
+
+
+class TestTable1:
+    def test_twenty_five_rows(self):
+        assert len(run_table1().rows) == 25
+
+    def test_render_lists_all_benchmarks(self):
+        text = run_table1().render()
+        for name in ("lcdnum", "nsichneu", "minver"):
+            assert name in text
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table("T", "x", [1, 2], {"A": [0.1, 0.2], "B": [0.3, 0.4]})
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[2] and "B" in lines[2]
+        assert "0.100" in text and "0.400" in text
+
+    def test_format_gaps(self):
+        text = format_gaps({"FP": 0.7})
+        assert "70.0 pp" in text
+
+    def test_format_rows(self):
+        text = format_rows("T", ("a", "b"), [(1, 2), (30, 40)])
+        assert "30" in text and "b" in text
+
+
+class TestParallelRunner:
+    def test_parallel_jobs_match_sequential(self):
+        # Determinism is seed-based, so worker processes must reproduce the
+        # sequential results exactly.
+        platform = default_platform()
+        variants = standard_variants(include_perfect=False)[:2]
+        sequential = run_curve(platform, variants, TINY)
+        from dataclasses import replace
+
+        parallel = run_curve(platform, variants, replace(TINY, jobs=2))
+        for utilization in TINY.utilizations:
+            assert [s.verdicts for s in sequential[utilization]] == [
+                s.verdicts for s in parallel[utilization]
+            ]
+
+
+class TestFig1:
+    def test_all_quantities_match_paper(self):
+        from repro.experiments.fig1 import run_fig1
+
+        result = run_fig1()
+        assert result.all_match
+        assert len(result.checks) == 9
+
+    def test_render_reports_verdicts(self):
+        from repro.experiments.fig1 import run_fig1
+
+        text = run_fig1().render()
+        assert "Fig. 1" in text
+        assert "MISMATCH" not in text
+        assert text.count("ok") >= 9

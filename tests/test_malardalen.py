@@ -1,0 +1,193 @@
+"""Calibration tests: the synthetic benchmark models vs the paper's Table I."""
+
+import pytest
+
+from repro.cacheanalysis.extraction import extract_parameters
+from repro.data.benchmarks import benchmark_spec, benchmark_table
+from repro.errors import ProgramError
+from repro.program.malardalen import (
+    ALL_MODELS,
+    benchmark_names,
+    benchmark_program,
+    build_benchmark,
+    published_names,
+    reference_geometry,
+)
+
+#: Published Table I footprint targets: name -> (|ECB|, |PCB|, |UCB|, PD).
+TABLE1_FOOTPRINTS = {
+    "lcdnum": (20, 20, 20, 984),
+    "bsort100": (20, 20, 18, 710289),
+    "ludcmp": (98, 98, 98, 27036),
+    "fdct": (106, 22, 58, 6550),
+    "nsichneu": (256, 0, 256, 22009),
+    "statemate": (256, 36, 256, 10586),
+}
+
+
+@pytest.fixture(scope="module")
+def extractions():
+    geometry = reference_geometry()
+    return {
+        program.name: extract_parameters(program, geometry)
+        for program in ALL_MODELS
+    }
+
+
+class TestSuite:
+    def test_twenty_five_benchmarks(self):
+        assert len(benchmark_names()) == 25
+
+    def test_published_subset(self):
+        assert set(published_names()) == set(TABLE1_FOOTPRINTS)
+
+    def test_lookup_by_name(self):
+        assert benchmark_program("fdct").name == "fdct"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ProgramError):
+            benchmark_program("doom")
+
+    def test_names_are_unique(self):
+        names = benchmark_names()
+        assert len(set(names)) == len(names)
+
+
+class TestTable1Calibration:
+    @pytest.mark.parametrize("name", sorted(TABLE1_FOOTPRINTS))
+    def test_footprint_sizes_match_published(self, extractions, name):
+        n_ecb, n_pcb, n_ucb, pd = TABLE1_FOOTPRINTS[name]
+        params = extractions[name]
+        assert len(params.ecbs) == n_ecb
+        assert len(params.pcbs) == n_pcb
+        assert len(params.ucbs) == n_ucb
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_FOOTPRINTS))
+    def test_pd_matches_published(self, extractions, name):
+        assert extractions[name].pd == TABLE1_FOOTPRINTS[name][3]
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_FOOTPRINTS))
+    def test_md_close_to_dataset(self, extractions, name):
+        """Model MD within 5% of the canonical (converted) MD count."""
+        dataset = benchmark_spec(name)
+        model = extractions[name]
+        assert abs(model.md - dataset.md) <= max(2, 0.05 * dataset.md)
+
+
+class TestModelConsistency:
+    @pytest.mark.parametrize("name", [p.name for p in ALL_MODELS])
+    def test_md_r_is_md_minus_pcbs(self, extractions, name):
+        """The footprint model's structural law: MD - MDr = |PCB|."""
+        params = extractions[name]
+        assert params.md - params.md_r == len(params.pcbs)
+
+    @pytest.mark.parametrize("name", [p.name for p in ALL_MODELS])
+    def test_subset_relations(self, extractions, name):
+        params = extractions[name]
+        assert params.ucbs <= params.ecbs
+        assert params.pcbs <= params.ecbs
+
+    @pytest.mark.parametrize("name", [p.name for p in ALL_MODELS])
+    def test_reconstructed_dataset_footprints_match_models(self, extractions, name):
+        row = benchmark_spec(name)
+        params = extractions[name]
+        assert row.n_ecb == len(params.ecbs)
+        assert row.n_pcb == len(params.pcbs)
+        assert row.n_ucb == len(params.ucbs)
+
+
+class TestCacheSizeSensitivity:
+    @pytest.mark.parametrize("name", ["fdct", "statemate", "nsichneu", "minver"])
+    def test_larger_cache_separates_conflicts(self, name):
+        """Doubling the sets beyond the reference resolves the conflicting
+        regions: more PCBs, never more demand."""
+        program = benchmark_program(name)
+        small = extract_parameters(program, reference_geometry())
+        large = extract_parameters(
+            program, reference_geometry().with_num_sets(1024)
+        )
+        assert len(large.pcbs) >= len(small.pcbs)
+        assert large.md <= small.md
+
+    @pytest.mark.parametrize("name", ["lcdnum", "ludcmp", "crc"])
+    def test_smaller_cache_creates_conflicts(self, name):
+        program = benchmark_program(name)
+        reference = extract_parameters(program, reference_geometry())
+        tiny = extract_parameters(
+            program, reference_geometry().with_num_sets(32)
+        )
+        assert len(tiny.pcbs) <= len(reference.pcbs)
+        assert tiny.md >= reference.md
+
+    def test_ecbs_never_exceed_cache_size(self):
+        geometry = reference_geometry().with_num_sets(32)
+        for program in ALL_MODELS:
+            params = extract_parameters(program, geometry)
+            assert len(params.ecbs) <= 32
+
+
+class TestBuilder:
+    def test_rejects_empty_model(self):
+        with pytest.raises(ProgramError):
+            build_benchmark("empty", pd=100, pu=0)
+
+    def test_rejects_oversized_footprint(self):
+        with pytest.raises(ProgramError):
+            build_benchmark("fat", pd=100, pu=200, u_conf=200)
+
+    def test_builder_formulas(self):
+        program = build_benchmark(
+            "custom",
+            pd=50_000,
+            pu=10,
+            p_only=3,
+            u_conf=5,
+            shadow=4,
+            main_iters=6,
+            conf_iters=2,
+            conf_inner=3,
+            uncached_once=7,
+            uncached_loop=2,
+        )
+        params = extract_parameters(program, reference_geometry())
+        assert len(params.ecbs) == 10 + 3 + 5 + 4
+        assert len(params.pcbs) == 13
+        assert len(params.ucbs) == 15
+        assert params.md == 13 + 2 * 4 + 2 * 5 * 2 + 7 + 2 * 6
+        assert params.md_r == params.md - 13
+        assert params.pd == 50_000
+
+    def test_branchy_builder(self):
+        program = build_benchmark(
+            "branchy",
+            pd=20_000,
+            pu=8,
+            u_conf=6,
+            main_iters=4,
+            conf_iters=2,
+            branchy=True,
+        )
+        params = extract_parameters(program, reference_geometry())
+        assert len(params.ecbs) == 14
+        assert params.md == 8 + 2 * 6 * 2
+
+
+class TestDatasetTable:
+    def test_twenty_five_rows(self):
+        assert len(benchmark_table()) == 25
+
+    def test_sources_labelled(self):
+        sources = {row.source for row in benchmark_table()}
+        assert sources == {"published-table1", "reconstructed"}
+
+    def test_row_invariants(self):
+        for row in benchmark_table():
+            assert 0 <= row.md_r <= row.md
+            assert row.n_ucb <= row.n_ecb
+            assert row.n_pcb <= row.n_ecb
+            assert row.pd > 0
+
+    def test_persistence_ratio_diversity(self):
+        ratios = [row.persistence_ratio for row in benchmark_table()]
+        assert min(ratios) < 0.2  # strongly persistent benchmarks exist
+        assert max(ratios) > 0.9  # and nearly persistence-free ones too

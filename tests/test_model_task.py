@@ -1,0 +1,192 @@
+"""Unit tests for the task and task-set model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.task import (
+    Task,
+    TaskSet,
+    assign_deadline_monotonic_priorities,
+    assign_rate_monotonic_priorities,
+)
+
+
+def make_task(name="t", priority=1, core=0, **overrides):
+    defaults = dict(
+        pd=100,
+        md=10,
+        md_r=4,
+        period=1000,
+        deadline=1000,
+        ecbs=frozenset({1, 2, 3}),
+        ucbs=frozenset({1, 2}),
+        pcbs=frozenset({3}),
+    )
+    defaults.update(overrides)
+    return Task(name=name, priority=priority, core=core, **defaults)
+
+
+class TestTaskValidation:
+    def test_md_r_defaults_to_md(self):
+        task = Task(name="t", pd=5, md=7, period=100, deadline=100, priority=1)
+        assert task.md_r == 7
+
+    def test_rejects_md_r_above_md(self):
+        with pytest.raises(ModelError):
+            make_task(md=5, md_r=6)
+
+    def test_rejects_negative_pd(self):
+        with pytest.raises(ModelError):
+            make_task(pd=-1)
+
+    def test_rejects_negative_md(self):
+        with pytest.raises(ModelError):
+            make_task(md=-1)
+
+    def test_rejects_deadline_beyond_period(self):
+        with pytest.raises(ModelError):
+            make_task(period=100, deadline=200)
+
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(ModelError):
+            make_task(period=0, deadline=0)
+
+    def test_rejects_negative_core(self):
+        with pytest.raises(ModelError):
+            make_task(core=-1)
+
+    def test_rejects_ucbs_outside_ecbs(self):
+        with pytest.raises(ModelError):
+            make_task(ucbs=frozenset({99}))
+
+    def test_rejects_pcbs_outside_ecbs(self):
+        with pytest.raises(ModelError):
+            make_task(pcbs=frozenset({99}))
+
+    def test_sets_coerced_to_frozenset(self):
+        task = make_task(ecbs={1, 2, 3}, ucbs={1}, pcbs={2})
+        assert isinstance(task.ecbs, frozenset)
+        assert isinstance(task.ucbs, frozenset)
+        assert isinstance(task.pcbs, frozenset)
+
+
+class TestTaskMetrics:
+    def test_isolated_wcet(self):
+        assert make_task(pd=100, md=10).isolated_wcet(10) == 200
+
+    def test_utilization(self):
+        task = make_task(pd=100, md=10, period=400, deadline=400)
+        assert task.utilization(10) == pytest.approx(0.5)
+
+    def test_with_helpers(self):
+        task = make_task()
+        assert task.with_priority(9).priority == 9
+        assert task.with_core(3).core == 3
+        updated = task.with_timing(2000, 1500)
+        assert (updated.period, updated.deadline) == (2000, 1500)
+
+    def test_identity_semantics(self):
+        a = make_task(priority=1)
+        b = make_task(priority=1)
+        assert a != b
+        assert len({a, b}) == 2
+
+
+class TestTaskSet:
+    def setup_method(self):
+        self.t1 = make_task("t1", priority=1, core=0)
+        self.t2 = make_task("t2", priority=2, core=0)
+        self.t3 = make_task("t3", priority=3, core=1)
+        self.t4 = make_task("t4", priority=4, core=1)
+        self.ts = TaskSet([self.t3, self.t1, self.t4, self.t2])
+
+    def test_sorted_by_priority(self):
+        assert [t.name for t in self.ts] == ["t1", "t2", "t3", "t4"]
+
+    def test_len_and_getitem(self):
+        assert len(self.ts) == 4
+        assert self.ts[0] is self.t1
+
+    def test_contains_is_identity_based(self):
+        assert self.t1 in self.ts
+        assert make_task("t1", priority=9) not in self.ts
+
+    def test_rejects_duplicate_priorities(self):
+        with pytest.raises(ModelError):
+            TaskSet([make_task("a", priority=1), make_task("b", priority=1)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            TaskSet([])
+
+    def test_hp_lp_hep(self):
+        assert self.ts.hp(self.t3) == (self.t1, self.t2)
+        assert self.ts.lp(self.t3) == (self.t4,)
+        assert self.ts.hep(self.t3) == (self.t1, self.t2, self.t3)
+
+    def test_aff(self):
+        # aff(4, 1) = hep(4) ∩ lp(1) = {t2, t3, t4}
+        assert self.ts.aff(self.t4, self.t1) == (self.t2, self.t3, self.t4)
+        # aff(2, 2) is empty (nothing both <= prio 2 and > prio 2).
+        assert self.ts.aff(self.t2, self.t2) == ()
+
+    def test_per_core_views(self):
+        assert self.ts.on_core(0) == (self.t1, self.t2)
+        assert self.ts.on_core(1) == (self.t3, self.t4)
+        assert self.ts.on_core(7) == ()
+        assert self.ts.hp_on_core(self.t4, 1) == (self.t3,)
+        assert self.ts.hep_on_core(self.t4, 0) == (self.t1, self.t2)
+        assert self.ts.lp_on_core(self.t1, 1) == (self.t3, self.t4)
+
+    def test_cores_property(self):
+        assert self.ts.cores == (0, 1)
+
+    def test_lowest_priority_task(self):
+        assert self.ts.lowest_priority_task is self.t4
+
+    def test_relation_rejects_foreign_task(self):
+        foreign = make_task("x", priority=99)
+        with pytest.raises(ModelError):
+            self.ts.hp(foreign)
+
+    def test_utilization_aggregates(self):
+        d_mem = 10
+        expected_core0 = self.t1.utilization(d_mem) + self.t2.utilization(d_mem)
+        assert self.ts.core_utilization(0, d_mem) == pytest.approx(expected_core0)
+        assert self.ts.total_utilization(d_mem) == pytest.approx(
+            sum(t.utilization(d_mem) for t in self.ts)
+        )
+
+    def test_bus_utilization_residual_is_lower(self):
+        assert self.ts.bus_utilization(10, residual=True) < self.ts.bus_utilization(10)
+
+
+class TestPriorityAssignment:
+    def test_deadline_monotonic(self):
+        short = make_task("short", priority=0, period=500, deadline=500)
+        long = make_task("long", priority=0, period=2000, deadline=2000)
+        ordered = assign_deadline_monotonic_priorities([long, short])
+        by_name = {t.name: t for t in ordered}
+        assert by_name["short"].priority < by_name["long"].priority
+
+    def test_rate_monotonic(self):
+        fast = make_task("fast", priority=0, period=500, deadline=400)
+        slow = make_task("slow", priority=0, period=2000, deadline=300)
+        ordered = assign_rate_monotonic_priorities([slow, fast])
+        by_name = {t.name: t for t in ordered}
+        assert by_name["fast"].priority < by_name["slow"].priority
+
+    def test_priorities_unique_on_ties(self):
+        tasks = [make_task(f"t{i}", priority=0) for i in range(5)]
+        ordered = assign_deadline_monotonic_priorities(tasks)
+        priorities = [t.priority for t in ordered]
+        assert sorted(priorities) == [1, 2, 3, 4, 5]
+
+    def test_tie_break_preserves_input_order(self):
+        tasks = [make_task(f"t{i}", priority=0) for i in range(3)]
+        ordered = assign_deadline_monotonic_priorities(tasks)
+        assert [t.name for t in sorted(ordered, key=lambda t: t.priority)] == [
+            "t0",
+            "t1",
+            "t2",
+        ]

@@ -1,0 +1,170 @@
+"""Unit tests for the multiset CRPD and CPRO refinements (extensions)."""
+
+import random
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_taskset
+from repro.businterference.context import AnalysisContext
+from repro.businterference.requests import bas
+from repro.crpd.approaches import CrpdApproach, CrpdCalculator
+from repro.crpd.multiset import ecb_union_multiset_window
+from repro.generation import generate_taskset
+from repro.model.platform import BusPolicy, Platform
+from repro.model.task import Task, TaskSet
+from repro.persistence.cpro import (
+    CproApproach,
+    CproCalculator,
+    cpro_multiset_window,
+)
+
+
+def make_task(name, priority, core=0, md=10, md_r=3, period=1000,
+              ecbs=(), ucbs=(), pcbs=()):
+    return Task(
+        name=name, pd=10, md=md, md_r=md_r, period=period, deadline=period,
+        priority=priority, core=core,
+        ecbs=frozenset(ecbs), ucbs=frozenset(ucbs), pcbs=frozenset(pcbs),
+    )
+
+
+@pytest.fixture()
+def system():
+    t1 = make_task("t1", 1, period=100, ecbs={1, 2, 3, 4}, ucbs={1, 2})
+    t2 = make_task("t2", 2, period=500, ecbs={3, 4, 5, 6}, ucbs={3, 4, 5},
+                   pcbs={5, 6})
+    t3 = make_task("t3", 3, period=900, ecbs={5, 6, 7, 8}, ucbs={5, 6, 7, 8},
+                   pcbs={7, 8})
+    taskset = TaskSet([t1, t2, t3])
+    return taskset, t1, t2, t3
+
+
+class TestCrpdMultiset:
+    def test_never_exceeds_per_job_bound(self, system):
+        taskset, t1, t2, t3 = system
+        crpd = CrpdCalculator(taskset)
+        responses = {t: int(t.pd + t.md * 10) for t in taskset}
+        for t in range(0, 5000, 177):
+            multiset = ecb_union_multiset_window(
+                taskset, t3, t1, t, lambda task: responses[task]
+            )
+            per_job = -((-t) // int(t1.period)) * crpd.gamma(t3, t1)
+            assert multiset <= per_job
+
+    def test_zero_without_affected_tasks(self, system):
+        taskset, t1, t2, t3 = system
+        assert ecb_union_multiset_window(taskset, t1, t1, 1000, lambda t: 100) == 0
+
+    def test_zero_window(self, system):
+        taskset, t1, t2, t3 = system
+        assert ecb_union_multiset_window(taskset, t3, t1, 0, lambda t: 100) == 0
+
+    def test_limited_by_affected_executions(self):
+        # t2 runs once in the window and can be preempted once per run:
+        # the multiset has a single element, even though t1 releases many
+        # jobs.
+        t1 = make_task("t1", 1, period=10, ecbs={1, 2}, ucbs=())
+        t2 = make_task("t2", 2, period=10_000, ecbs={1, 2, 3}, ucbs={1, 2})
+        t3 = make_task("t3", 3, period=10_000, ecbs={9}, ucbs={9})
+        taskset = TaskSet([t1, t2, t3])
+        # R(t2) = 15 -> E_1(R_2) = 2 preemptions per job of t2; one job of
+        # t2 in the window -> at most 2 elements of cost 2.
+        total = ecb_union_multiset_window(
+            taskset, t3, t1, 5000, lambda t: 15
+        )
+        assert total == 2 * 2
+        # The per-job bound would charge E_1(5000) = 500 preemptions.
+        assert total < 500 * 2
+
+    def test_respects_window_budget(self, system):
+        taskset, t1, t2, t3 = system
+        # With a huge response time the multiset is budget-limited by
+        # E_j(t) elements.
+        crpd = CrpdCalculator(taskset)
+        t = 1000
+        budget = -((-t) // int(t1.period))
+        total = ecb_union_multiset_window(
+            taskset, t3, t1, t, lambda task: 10**9
+        )
+        assert total <= budget * crpd.gamma(t3, t1)
+
+    def test_bas_with_multiset_never_exceeds_plain(self, system):
+        taskset, t1, t2, t3 = system
+        platform = Platform(num_cores=1, d_mem=10)
+        plain = AnalysisContext(
+            taskset=taskset, platform=platform,
+            crpd=CrpdCalculator(taskset, CrpdApproach.ECB_UNION),
+        )
+        multiset = AnalysisContext(
+            taskset=taskset, platform=platform,
+            crpd=CrpdCalculator(taskset, CrpdApproach.ECB_UNION_MULTISET),
+        )
+        for t in range(0, 4000, 133):
+            assert bas(multiset, t3, t) <= bas(plain, t3, t)
+
+
+class TestCproMultiset:
+    def test_never_exceeds_union(self, system):
+        taskset, t1, t2, t3 = system
+        union = CproCalculator(taskset, CproApproach.UNION)
+        multiset = CproCalculator(taskset, CproApproach.MULTISET)
+        for n in range(0, 10):
+            for t in range(0, 4000, 333):
+                assert multiset.rho_window(t2, t3, n, t) <= union.rho(t2, t3, n)
+
+    def test_limited_by_evictor_jobs(self):
+        # The evictor releases one job per 10_000 cycles; in a 1_000-cycle
+        # window it can evict each overlapping PCB at most once, however
+        # many jobs of the victim run.
+        evictor = make_task("e", 1, period=10_000, ecbs={5})
+        victim = make_task("v", 2, period=100, ecbs={5, 6}, pcbs={5, 6})
+        low = make_task("l", 3, period=10_000, ecbs={9})
+        taskset = TaskSet([evictor, victim, low])
+        total = cpro_multiset_window(taskset, victim, low, n_jobs=10, window=1000)
+        assert total == 1  # one eviction opportunity for PCB 5; PCB 6 safe
+
+    def test_limited_by_job_boundaries(self):
+        evictor = make_task("e", 1, period=10, ecbs={5})
+        victim = make_task("v", 2, period=100, ecbs={5, 6}, pcbs={5, 6})
+        low = make_task("l", 3, period=10_000, ecbs={9})
+        taskset = TaskSet([evictor, victim, low])
+        # Plenty of eviction opportunities, but only n-1 reloads possible.
+        total = cpro_multiset_window(taskset, victim, low, n_jobs=4, window=1000)
+        assert total == 3
+
+    def test_carry_in_adds_one_job(self):
+        evictor = make_task("e", 1, period=10_000, ecbs={5})
+        victim = make_task("v", 2, period=100, ecbs={5, 6}, pcbs={5, 6})
+        low = make_task("l", 3, period=10_000, ecbs={9})
+        taskset = TaskSet([evictor, victim, low])
+        without = cpro_multiset_window(taskset, victim, low, 10, 1000)
+        with_carry = cpro_multiset_window(
+            taskset, victim, low, 10, 1000, carry_in=True
+        )
+        assert with_carry == without + 1
+
+    def test_zero_for_single_job(self, system):
+        taskset, t1, t2, t3 = system
+        assert cpro_multiset_window(taskset, t2, t3, 1, 1000) == 0
+
+    def test_rho_window_falls_back_for_union(self, system):
+        taskset, t1, t2, t3 = system
+        union = CproCalculator(taskset, CproApproach.UNION)
+        assert union.rho_window(t2, t3, 5, 123) == union.rho(t2, t3, 5)
+
+
+class TestEndToEnd:
+    def test_multiset_config_never_hurts_schedulability(self):
+        platform = Platform(bus_policy=BusPolicy.FP)
+        plain = AnalysisConfig(persistence=True)
+        refined = AnalysisConfig(
+            persistence=True,
+            crpd_approach=CrpdApproach.ECB_UNION_MULTISET,
+            cpro_approach=CproApproach.MULTISET,
+        )
+        plain_count = refined_count = 0
+        for seed in range(10):
+            taskset = generate_taskset(random.Random(seed), platform, 0.45)
+            plain_count += analyze_taskset(taskset, platform, plain).schedulable
+            refined_count += analyze_taskset(taskset, platform, refined).schedulable
+        assert refined_count >= plain_count

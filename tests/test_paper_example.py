@@ -1,0 +1,156 @@
+"""Reproduction of the paper's worked example (Fig. 1 and Eq. 11-15).
+
+Three tasks: τ1 and τ2 on core 0, τ3 on core 1; τ1 has the highest priority
+and τ3 the lowest.  The paper derives, for the response time R2 of τ2 with a
+round-robin bus of slot size 1:
+
+* γ_{2,1,x} = 2                                  (Eq. 2)
+* BAS_2^x(R2) = 32                               (Eq. 12, baseline)
+* persistence-aware total on core x = 26          (Eq. 15 / Lemma 1)
+* BAO_3^y(R2) = 24                               (Eq. 13, baseline)
+* persistence-aware remote demand = 9             (Lemma 2)
+"""
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.businterference.arbiters import blocking_accesses, total_bus_accesses
+from repro.businterference.context import AnalysisContext
+from repro.businterference.requests import bao, bas
+from repro.crpd.approaches import CrpdCalculator
+from repro.model.platform import BusPolicy, CacheGeometry, Platform
+from repro.model.task import Task, TaskSet
+from repro.persistence.cpro import CproCalculator
+from repro.persistence.demand import multi_job_demand
+
+R2 = 36  # window length such that E_1(R2) = 3 and N_{3,3}(R2) = 4
+
+
+@pytest.fixture()
+def example():
+    """Task set and platform of Fig. 1 (RR bus, slot size 1, d_mem 1)."""
+    tau1 = Task(
+        name="tau1",
+        pd=4,
+        md=6,
+        md_r=1,
+        period=12,
+        deadline=12,
+        priority=1,
+        core=0,
+        ecbs=frozenset({5, 6, 7, 8, 9, 10}),
+        ucbs=frozenset({5, 6, 7, 8, 10}),
+        pcbs=frozenset({5, 6, 7, 8, 10}),
+    )
+    tau2 = Task(
+        name="tau2",
+        pd=32,
+        md=8,
+        period=64,
+        deadline=64,
+        priority=2,
+        core=0,
+        ecbs=frozenset({1, 2, 3, 4, 5, 6}),
+        ucbs=frozenset({5, 6}),
+    )
+    tau3 = Task(
+        name="tau3",
+        pd=4,
+        md=6,
+        md_r=1,
+        period=10,
+        deadline=10,
+        priority=3,
+        core=1,
+        ecbs=frozenset({5, 6, 7, 8, 9, 10}),
+        ucbs=frozenset({5, 6, 7, 8, 10}),
+        pcbs=frozenset({5, 6, 7, 8, 10}),
+    )
+    taskset = TaskSet([tau1, tau2, tau3])
+    platform = Platform(
+        num_cores=2,
+        cache=CacheGeometry(num_sets=16, block_size=32),
+        d_mem=1,
+        bus_policy=BusPolicy.RR,
+        slot_size=1,
+    )
+    return taskset, platform, tau1, tau2, tau3
+
+
+def _context(taskset, platform, persistence):
+    ctx = AnalysisContext(taskset=taskset, platform=platform, persistence=persistence)
+    # Paper example: R3 = 10 makes N_{3,3}(R2) = 4 full remote jobs.
+    tau3 = taskset.tasks[2]
+    ctx.set_response_time(tau3, 10)
+    return ctx
+
+
+def test_crpd_gamma_is_two(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    crpd = CrpdCalculator(taskset)
+    assert crpd.gamma(tau2, tau1) == 2
+
+
+def test_bas_baseline_matches_eq12(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    ctx = _context(taskset, platform, persistence=False)
+    assert bas(ctx, tau2, R2) == 32
+
+
+def test_multi_job_demand_matches_fig1(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    # Three jobs of τ1 in isolation: 6 + 1 + 1 = 8 accesses.
+    assert multi_job_demand(tau1, 3) == 8
+
+
+def test_cpro_matches_fig1(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    cpro = CproCalculator(taskset)
+    # PCBs {5,6} of τ1 overlap ECBs of τ2: 2 evictable blocks, twice.
+    assert cpro.eviction_count(tau1, tau2) == 2
+    assert cpro.rho(tau1, tau2, 3) == 4
+
+
+def test_bas_persistence_matches_eq15(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    ctx = _context(taskset, platform, persistence=True)
+    assert bas(ctx, tau2, R2) == 26
+
+
+def test_bao_baseline_matches_eq13(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    ctx = _context(taskset, platform, persistence=False)
+    assert bao(ctx, 1, tau3, R2) == 24
+
+
+def test_bao_persistence_is_nine(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    ctx = _context(taskset, platform, persistence=True)
+    assert bao(ctx, 1, tau3, R2) == 9
+
+
+def test_no_blocking_for_lowest_priority_on_core(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    ctx = _context(taskset, platform, persistence=False)
+    # τ2 is the lowest-priority task on core 0, so Eq. (12) has no +1 term.
+    assert blocking_accesses(ctx, tau2) == 0
+    # τ1 does have a same-core lower-priority task (τ2).
+    assert blocking_accesses(ctx, tau1) == 1
+
+
+def test_rr_total_accesses(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    baseline = _context(taskset, platform, persistence=False)
+    aware = _context(taskset, platform, persistence=True)
+    # Eq. (11): BAT = BAS + min(BAO, s * BAS), no +1 for τ2.
+    assert total_bus_accesses(baseline, tau2, R2) == 32 + min(24, 32)
+    assert total_bus_accesses(aware, tau2, R2) == 26 + min(9, 26)
+
+
+def test_persistence_never_exceeds_baseline(example):
+    taskset, platform, tau1, tau2, tau3 = example
+    baseline = _context(taskset, platform, persistence=False)
+    aware = _context(taskset, platform, persistence=True)
+    for t in range(0, 200, 7):
+        assert bas(aware, tau2, t) <= bas(baseline, tau2, t)
+        assert bao(aware, 1, tau3, t) <= bao(baseline, 1, tau3, t)

@@ -1,0 +1,128 @@
+"""Unit tests for the task-to-core partitioning heuristics."""
+
+import random
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generation.partitioning import (
+    HEURISTICS,
+    best_fit,
+    cache_aware_worst_fit,
+    first_fit,
+    worst_fit,
+)
+from repro.model.platform import Platform
+from repro.model.task import Task
+
+
+def make_task(name, utilization, priority, ecbs=(), ucbs=(), pcbs=()):
+    # d_mem = 10; pd chosen so (pd + md*d)/T equals the target utilisation.
+    period = 1000
+    pd = int(utilization * period)
+    return Task(
+        name=name, pd=pd, md=0, period=period, deadline=period,
+        priority=priority, ecbs=frozenset(ecbs), ucbs=frozenset(ucbs),
+        pcbs=frozenset(pcbs),
+    )
+
+
+@pytest.fixture()
+def platform():
+    return Platform(num_cores=2, d_mem=10)
+
+
+class TestUtilizationPacking:
+    def test_all_tasks_assigned(self, platform):
+        tasks = [make_task(f"t{i}", 0.2, i) for i in range(8)]
+        for heuristic in (first_fit, best_fit, worst_fit):
+            placed = heuristic(tasks, platform)
+            assert len(placed) == 8
+            assert {t.core for t in placed} <= {0, 1}
+
+    def test_capacity_respected(self, platform):
+        tasks = [make_task(f"t{i}", 0.4, i) for i in range(4)]
+        for heuristic in (first_fit, best_fit, worst_fit):
+            placed = heuristic(tasks, platform)
+            for core in platform.cores:
+                load = sum(
+                    t.utilization(platform.d_mem) for t in placed if t.core == core
+                )
+                assert load <= 1.0 + 1e-9
+
+    def test_infeasible_raises(self, platform):
+        tasks = [make_task(f"t{i}", 0.9, i) for i in range(3)]
+        with pytest.raises(GenerationError):
+            first_fit(tasks, platform)
+
+    def test_first_fit_prefers_low_cores(self, platform):
+        tasks = [make_task(f"t{i}", 0.1, i) for i in range(4)]
+        placed = first_fit(tasks, platform)
+        assert all(t.core == 0 for t in placed)
+
+    def test_worst_fit_balances(self, platform):
+        tasks = [make_task(f"t{i}", 0.3, i) for i in range(4)]
+        placed = worst_fit(tasks, platform)
+        loads = [
+            sum(t.utilization(platform.d_mem) for t in placed if t.core == core)
+            for core in platform.cores
+        ]
+        assert loads[0] == pytest.approx(loads[1])
+
+    def test_best_fit_fills_before_opening(self, platform):
+        # 0.6 then 0.3 fit together on one core under best fit.
+        tasks = [make_task("big", 0.6, 1), make_task("small", 0.3, 2)]
+        placed = best_fit(tasks, platform)
+        assert placed[0].core == placed[1].core
+
+    def test_custom_capacity(self, platform):
+        tasks = [make_task(f"t{i}", 0.4, i) for i in range(2)]
+        placed = first_fit(tasks, platform, capacity=0.5)
+        assert placed[0].core != placed[1].core
+
+    def test_priorities_preserved(self, platform):
+        tasks = [make_task(f"t{i}", 0.2, i) for i in range(4)]
+        placed = worst_fit(tasks, platform)
+        assert sorted(t.priority for t in placed) == [0, 1, 2, 3]
+
+
+class TestCacheAware:
+    def test_separates_conflicting_footprints(self, platform):
+        # Two pairs: tasks within a pair share cache sets; across pairs
+        # they are disjoint.  The cache-aware packer should co-locate
+        # non-conflicting tasks.
+        a1 = make_task("a1", 0.2, 1, ecbs=range(0, 50), pcbs=range(0, 50))
+        a2 = make_task("a2", 0.2, 2, ecbs=range(0, 50), pcbs=range(0, 50))
+        b1 = make_task("b1", 0.2, 3, ecbs=range(100, 150), pcbs=range(100, 150))
+        b2 = make_task("b2", 0.2, 4, ecbs=range(100, 150), pcbs=range(100, 150))
+        placed = cache_aware_worst_fit(
+            [a1, a2, b1, b2], platform, headroom=1.0
+        )
+        cores = {t.name: t.core for t in placed}
+        assert cores["a1"] != cores["a2"]
+        assert cores["b1"] != cores["b2"]
+
+    def test_zero_headroom_matches_worst_fit_loads(self, platform):
+        rng = random.Random(5)
+        tasks = [
+            make_task(f"t{i}", 0.1 + 0.05 * (i % 4), i,
+                      ecbs=range(rng.randrange(0, 200), rng.randrange(200, 256)))
+            for i in range(8)
+        ]
+        aware = cache_aware_worst_fit(tasks, platform, headroom=0.0)
+        plain = worst_fit(tasks, platform)
+        d_mem = platform.d_mem
+        loads = lambda placed: sorted(
+            round(sum(t.utilization(d_mem) for t in placed if t.core == c), 6)
+            for c in platform.cores
+        )
+        assert loads(aware) == loads(plain)
+
+    def test_rejects_negative_headroom(self, platform):
+        with pytest.raises(GenerationError):
+            cache_aware_worst_fit([make_task("t", 0.1, 1)], platform, headroom=-1)
+
+    def test_registry_contains_all(self):
+        assert set(HEURISTICS) == {
+            "first-fit", "best-fit", "worst-fit", "cache-aware",
+        }

@@ -1,0 +1,163 @@
+"""Unit tests for multi-job demand (Eq. 10) and CPRO (Eq. 14)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.model.task import Task, TaskSet
+from repro.persistence.cpro import (
+    CproApproach,
+    CproCalculator,
+    cpro_eviction_count_global,
+    cpro_eviction_count_union,
+)
+from repro.persistence.demand import multi_job_demand
+
+
+def make_task(name, priority, core=0, md=10, md_r=3, ecbs=(), pcbs=()):
+    return Task(
+        name=name,
+        pd=10,
+        md=md,
+        md_r=md_r,
+        period=1000,
+        deadline=1000,
+        priority=priority,
+        core=core,
+        ecbs=frozenset(ecbs),
+        pcbs=frozenset(pcbs),
+    )
+
+
+class TestMultiJobDemand:
+    def test_zero_jobs(self):
+        assert multi_job_demand(make_task("t", 1, ecbs={1}, pcbs={1}), 0) == 0
+
+    def test_single_job_is_md(self):
+        task = make_task("t", 1, md=10, md_r=3, ecbs=set(range(8)), pcbs=set(range(8)))
+        # min(10, 3 + 8) = 10.
+        assert multi_job_demand(task, 1) == 10
+
+    def test_many_jobs_amortise_pcb_loads(self):
+        task = make_task("t", 1, md=10, md_r=3, ecbs=set(range(8)), pcbs=set(range(8)))
+        # min(5*10, 5*3 + 8) = 23.
+        assert multi_job_demand(task, 5) == 23
+
+    def test_never_exceeds_oblivious_bound(self):
+        task = make_task("t", 1, md=10, md_r=9, ecbs=set(range(20)), pcbs=set(range(20)))
+        for n in range(0, 30):
+            assert multi_job_demand(task, n) <= n * task.md
+
+    def test_no_pcbs_degenerates_to_residual_rate(self):
+        task = make_task("t", 1, md=10, md_r=10)
+        assert multi_job_demand(task, 7) == 70
+
+    def test_monotone_in_job_count(self):
+        task = make_task("t", 1, md=12, md_r=2, ecbs=set(range(6)), pcbs=set(range(6)))
+        values = [multi_job_demand(task, n) for n in range(12)]
+        assert values == sorted(values)
+
+    def test_rejects_negative_jobs(self):
+        with pytest.raises(AnalysisError):
+            multi_job_demand(make_task("t", 1), -1)
+
+    def test_matches_paper_fig1(self):
+        tau1 = make_task(
+            "tau1",
+            1,
+            md=6,
+            md_r=1,
+            ecbs={5, 6, 7, 8, 9, 10},
+            pcbs={5, 6, 7, 8, 10},
+        )
+        assert multi_job_demand(tau1, 3) == 8  # 6 + 1 + 1
+
+
+@pytest.fixture()
+def core_tasks():
+    t1 = make_task("t1", 1, ecbs={1, 2, 3}, pcbs={1, 2})
+    t2 = make_task("t2", 2, ecbs={2, 3, 4}, pcbs={4})
+    t3 = make_task("t3", 3, ecbs={4, 5, 6}, pcbs={5, 6})
+    t4 = make_task("t4", 4, core=1, ecbs={1, 2, 5, 6}, pcbs={1, 2})
+    return TaskSet([t1, t2, t3, t4]), t1, t2, t3, t4
+
+
+class TestCproEvictionCounts:
+    def test_union_restricted_to_hep_window(self, core_tasks):
+        taskset, t1, t2, t3, t4 = core_tasks
+        # PCBs of t1 = {1,2}; in the window of t2 only hep(2)\{t1} = {t2}
+        # runs on core 0: ECB_2 = {2,3,4} -> overlap {2}.
+        assert cpro_eviction_count_union(taskset, t1, t2) == 1
+        # In the window of t3, hep(3)\{t1} = {t2, t3}: union {2,3,4,5,6}.
+        assert cpro_eviction_count_union(taskset, t1, t3) == 1
+
+    def test_union_excludes_other_cores(self, core_tasks):
+        taskset, t1, t2, t3, t4 = core_tasks
+        # t4 is on core 1; its PCBs {1,2} overlap t1's ECBs, but t1 is on
+        # core 0 so it cannot evict them.
+        assert cpro_eviction_count_union(taskset, t4, t4) == 0
+
+    def test_union_excludes_self(self, core_tasks):
+        taskset, t1, t2, t3, t4 = core_tasks
+        # For t3's own window, hep(3)\{t3} on core 0 = {t1, t2}: union
+        # {1,2,3,4}; PCB_3 = {5,6} -> no overlap.
+        assert cpro_eviction_count_union(taskset, t3, t3) == 0
+
+    def test_global_dominates_union(self, core_tasks):
+        taskset, t1, t2, t3, t4 = core_tasks
+        for task_j in (t1, t2, t3):
+            for task_i in (t1, t2, t3):
+                assert cpro_eviction_count_global(
+                    taskset, task_j, task_i
+                ) >= cpro_eviction_count_union(taskset, task_j, task_i)
+
+    def test_global_independent_of_window(self, core_tasks):
+        taskset, t1, t2, t3, t4 = core_tasks
+        values = {
+            cpro_eviction_count_global(taskset, t1, other)
+            for other in (t1, t2, t3)
+        }
+        assert len(values) == 1
+
+    def test_single_task_core_has_no_evictions(self):
+        alone = make_task("alone", 1, ecbs={1, 2}, pcbs={1, 2})
+        taskset = TaskSet([alone])
+        assert cpro_eviction_count_union(taskset, alone, alone) == 0
+        assert cpro_eviction_count_global(taskset, alone, alone) == 0
+
+
+class TestCproCalculator:
+    def test_rho_zero_for_single_job(self, core_tasks):
+        taskset, t1, t2, t3, t4 = core_tasks
+        calc = CproCalculator(taskset)
+        assert calc.rho(t1, t2, 0) == 0
+        assert calc.rho(t1, t2, 1) == 0
+
+    def test_rho_scales_linearly(self, core_tasks):
+        taskset, t1, t2, t3, t4 = core_tasks
+        calc = CproCalculator(taskset)
+        count = calc.eviction_count(t1, t2)
+        assert calc.rho(t1, t2, 4) == 3 * count
+
+    def test_rho_rejects_negative(self, core_tasks):
+        taskset, t1, t2, t3, t4 = core_tasks
+        with pytest.raises(AnalysisError):
+            CproCalculator(taskset).rho(t1, t2, -2)
+
+    def test_none_approach(self, core_tasks):
+        taskset, t1, t2, t3, t4 = core_tasks
+        calc = CproCalculator(taskset, CproApproach.NONE)
+        assert calc.rho(t1, t2, 100) == 0
+
+    def test_matches_paper_fig1(self):
+        tau1 = make_task(
+            "tau1", 1, md=6, md_r=1,
+            ecbs={5, 6, 7, 8, 9, 10}, pcbs={5, 6, 7, 8, 10},
+        )
+        tau2 = make_task("tau2", 2, md=8, md_r=8, ecbs={1, 2, 3, 4, 5, 6})
+        taskset = TaskSet([tau1, tau2])
+        calc = CproCalculator(taskset)
+        assert calc.rho(tau1, tau2, 3) == 4
+
+    def test_approach_property(self, core_tasks):
+        taskset, _, _, _, _ = core_tasks
+        assert CproCalculator(taskset).approach is CproApproach.UNION

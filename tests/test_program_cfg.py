@@ -1,0 +1,150 @@
+"""Unit tests for the structured program IR."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.model.platform import CacheGeometry
+from repro.program.cfg import (
+    Alt,
+    Block,
+    INSTRUCTION_SIZE,
+    Loop,
+    Program,
+    Seq,
+    worst_case_work,
+)
+
+GEO = CacheGeometry(num_sets=16, block_size=32)
+
+
+class TestBlock:
+    def test_memory_blocks_single_line(self):
+        block = Block(start=0, n_instructions=8)
+        assert block.memory_blocks(GEO) == (0,)
+
+    def test_memory_blocks_spanning_lines(self):
+        block = Block(start=0, n_instructions=20)
+        # 20 * 4 = 80 bytes -> lines 0..2.
+        assert block.memory_blocks(GEO) == (0, 1, 2)
+
+    def test_memory_blocks_unaligned_start(self):
+        block = Block(start=28, n_instructions=2)
+        # bytes 28..35 straddle lines 0 and 1.
+        assert block.memory_blocks(GEO) == (0, 1)
+
+    def test_work_defaults_to_instruction_count(self):
+        assert Block(start=0, n_instructions=5).work == 5
+
+    def test_explicit_work(self):
+        assert Block(start=0, n_instructions=5, work=99).work == 99
+
+    def test_end_address(self):
+        block = Block(start=64, n_instructions=4)
+        assert block.end == 64 + 4 * INSTRUCTION_SIZE
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ProgramError):
+            Block(start=-4, n_instructions=1)
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ProgramError):
+            Block(start=0, n_instructions=0)
+
+    def test_rejects_negative_uncached(self):
+        with pytest.raises(ProgramError):
+            Block(start=0, n_instructions=1, uncached=-1)
+
+    def test_relocated_shifts_addresses(self):
+        block = Block(start=32, n_instructions=8, work=10, uncached=3)
+        moved = block.relocated(64)
+        assert moved.start == 96
+        assert moved.work == 10
+        assert moved.uncached == 3
+
+
+class TestComposites:
+    def test_seq_flattens_nested_seqs(self):
+        inner = Seq(Block(0, 1), Block(32, 1))
+        outer = Seq(inner, Block(64, 1))
+        assert len(outer.parts) == 3
+
+    def test_seq_rejects_empty(self):
+        with pytest.raises(ProgramError):
+            Seq()
+
+    def test_loop_rejects_zero_bound(self):
+        with pytest.raises(ProgramError):
+            Loop(body=Block(0, 1), bound=0)
+
+    def test_alt_needs_two_choices(self):
+        with pytest.raises(ProgramError):
+            Alt(Block(0, 1))
+
+    def test_iter_blocks_covers_all_leaves(self):
+        program = Program(
+            name="p",
+            root=Seq(
+                Block(0, 1),
+                Loop(Alt(Block(32, 1), Block(64, 1)), bound=3),
+            ),
+        )
+        starts = sorted(b.start for b in program.iter_blocks())
+        assert starts == [0, 32, 64]
+
+    def test_memory_blocks_union_over_paths(self):
+        program = Program(
+            name="p", root=Alt(Block(0, 8), Block(32 * 5, 8))
+        )
+        assert program.memory_blocks(GEO) == frozenset({0, 5})
+
+
+class TestScaling:
+    def test_scaled_reduces_loop_bounds(self):
+        program = Program(name="p", root=Loop(Block(0, 1), bound=100))
+        scaled = program.scaled(0.1)
+        assert scaled.root.bound == 10
+
+    def test_scaled_never_below_one(self):
+        program = Program(name="p", root=Loop(Block(0, 1), bound=3))
+        assert program.scaled(0.01).root.bound == 1
+
+    def test_scaled_rejects_non_positive(self):
+        program = Program(name="p", root=Block(0, 1))
+        with pytest.raises(ProgramError):
+            program.scaled(0)
+
+    def test_relocated_program(self):
+        program = Program(name="p", root=Seq(Block(0, 8), Loop(Block(32, 8), 2)))
+        moved = program.relocated(256)
+        starts = sorted(b.start for b in moved.iter_blocks())
+        assert starts == [256, 288]
+
+    def test_relocated_rejects_negative(self):
+        program = Program(name="p", root=Block(0, 1))
+        with pytest.raises(ProgramError):
+            program.relocated(-32)
+
+
+class TestWorstCaseWork:
+    def test_block(self):
+        assert worst_case_work(Block(0, 4, work=7)) == 7
+
+    def test_seq_sums(self):
+        assert worst_case_work(Seq(Block(0, 1, work=3), Block(32, 1, work=4))) == 7
+
+    def test_loop_multiplies(self):
+        assert worst_case_work(Loop(Block(0, 1, work=5), bound=6)) == 30
+
+    def test_alt_takes_max(self):
+        assert worst_case_work(Alt(Block(0, 1, work=2), Block(32, 1, work=9))) == 9
+
+    def test_nested(self):
+        node = Seq(
+            Block(0, 1, work=1),
+            Loop(Alt(Block(32, 1, work=2), Block(64, 1, work=5)), bound=4),
+        )
+        assert worst_case_work(node) == 1 + 4 * 5
+
+    def test_footprint_bytes(self):
+        program = Program(name="p", root=Seq(Block(0, 8), Block(320, 8)))
+        assert program.footprint_bytes() == 320 + 32

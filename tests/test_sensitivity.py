@@ -1,0 +1,106 @@
+"""Unit tests for the sensitivity (breakdown) analyses."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    BASELINE,
+    PERSISTENCE_AWARE,
+    breakdown_d_mem,
+    breakdown_period_scale,
+    is_schedulable,
+)
+from repro.errors import AnalysisError
+from repro.generation import generate_taskset
+from repro.model.platform import BusPolicy, Platform
+from repro.model.task import Task, TaskSet
+
+
+def make_task(name, priority, core, pd, md, period):
+    return Task(
+        name=name, pd=pd, md=md, period=period, deadline=period,
+        priority=priority, core=core,
+    )
+
+
+@pytest.fixture()
+def easy_set():
+    t1 = make_task("a", 1, 0, pd=100, md=10, period=2000)
+    t2 = make_task("b", 2, 0, pd=100, md=10, period=4000)
+    return TaskSet([t1, t2])
+
+
+@pytest.fixture()
+def platform():
+    return Platform(num_cores=1, d_mem=10, bus_policy=BusPolicy.FP)
+
+
+class TestPeriodScale:
+    def test_scale_at_most_one_for_schedulable_set(self, easy_set, platform):
+        assert is_schedulable(easy_set, platform)
+        factor = breakdown_period_scale(easy_set, platform)
+        assert factor is not None
+        assert factor <= 1.0
+
+    def test_result_is_actually_schedulable(self, easy_set, platform):
+        factor = breakdown_period_scale(easy_set, platform, precision=0.005)
+        from repro.analysis.sensitivity import _scaled_taskset
+
+        assert is_schedulable(_scaled_taskset(easy_set, factor), platform)
+
+    def test_unschedulable_everywhere_returns_none(self, platform):
+        hopeless = TaskSet(
+            [make_task("x", 1, 0, pd=100, md=200, period=300)]
+        )
+        # Scaling periods does not help: isolated WCET 2100 > any scaled D
+        # up to upper=4 -> 1200.
+        assert breakdown_period_scale(hopeless, platform) is None
+
+    def test_tight_set_needs_larger_factor(self, platform):
+        loose = TaskSet([make_task("a", 1, 0, pd=100, md=10, period=4000)])
+        tight = TaskSet(
+            [
+                make_task("a", 1, 0, pd=100, md=10, period=450),
+                make_task("b", 2, 0, pd=100, md=10, period=460),
+            ]
+        )
+        loose_factor = breakdown_period_scale(loose, platform)
+        tight_factor = breakdown_period_scale(tight, platform)
+        assert loose_factor <= tight_factor
+
+    def test_parameter_validation(self, easy_set, platform):
+        with pytest.raises(AnalysisError):
+            breakdown_period_scale(easy_set, platform, precision=0)
+        with pytest.raises(AnalysisError):
+            breakdown_period_scale(easy_set, platform, lower=2.0, upper=1.0)
+
+
+class TestDmemBreakdown:
+    def test_returns_tolerated_latency(self, easy_set, platform):
+        latency = breakdown_d_mem(easy_set, platform)
+        assert latency is not None
+        assert is_schedulable(easy_set, platform.with_d_mem(latency))
+        assert not is_schedulable(easy_set, platform.with_d_mem(latency + 1))
+
+    def test_none_when_hopeless(self, platform):
+        hopeless = TaskSet([make_task("x", 1, 0, pd=350, md=10, period=300)])
+        assert breakdown_d_mem(hopeless, platform) is None
+
+    def test_upper_cap_returned_when_never_failing(self, platform):
+        airy = TaskSet([make_task("a", 1, 0, pd=10, md=1, period=100_000)])
+        assert breakdown_d_mem(airy, platform, upper=50) == 50
+
+    def test_persistence_buys_latency_headroom(self):
+        platform = Platform(num_cores=4, d_mem=10, bus_policy=BusPolicy.FP)
+        rng = random.Random(9)
+        taskset = generate_taskset(rng, platform, 0.35)
+        aware = breakdown_d_mem(taskset, platform, PERSISTENCE_AWARE)
+        base = breakdown_d_mem(taskset, platform, BASELINE)
+        if aware is None:
+            pytest.skip("set unschedulable even with persistence")
+        assert base is None or aware >= base
+
+    def test_parameter_validation(self, easy_set, platform):
+        with pytest.raises(AnalysisError):
+            breakdown_d_mem(easy_set, platform, upper=0)

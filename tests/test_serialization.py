@@ -1,0 +1,162 @@
+"""Unit tests for JSON serialisation of task sets and platforms."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.generation import generate_taskset
+from repro.model.platform import BusPolicy, CacheGeometry, Platform
+from repro.model.task import Task, TaskSet
+from repro.serialization import (
+    load_taskset,
+    platform_from_dict,
+    platform_to_dict,
+    save_taskset,
+    task_from_dict,
+    task_to_dict,
+    taskset_from_json,
+    taskset_to_json,
+)
+
+
+@pytest.fixture()
+def platform():
+    return Platform(
+        num_cores=3,
+        cache=CacheGeometry(num_sets=128, block_size=64),
+        d_mem=20,
+        bus_policy=BusPolicy.TDMA,
+        slot_size=3,
+    )
+
+
+@pytest.fixture()
+def taskset(platform):
+    return generate_taskset(random.Random(4), platform, 0.3)
+
+
+class TestPlatformRoundTrip:
+    def test_round_trip(self, platform):
+        assert platform_from_dict(platform_to_dict(platform)) == platform
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ModelError):
+            platform_from_dict({"num_cores": 2})
+
+    def test_bad_policy_rejected(self, platform):
+        data = platform_to_dict(platform)
+        data["bus_policy"] = "quantum"
+        with pytest.raises(ModelError):
+            platform_from_dict(data)
+
+
+class TestTaskRoundTrip:
+    def test_all_fields_survive(self):
+        task = Task(
+            name="x", pd=10, md=5, md_r=2, period=100, deadline=90,
+            priority=7, core=2,
+            ecbs=frozenset({1, 2, 3}), ucbs=frozenset({1}), pcbs=frozenset({2}),
+        )
+        clone = task_from_dict(task_to_dict(task))
+        for field in ("name", "pd", "md", "md_r", "period", "deadline",
+                      "priority", "core", "ecbs", "ucbs", "pcbs"):
+            assert getattr(clone, field) == getattr(task, field)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ModelError):
+            task_from_dict({"name": "x"})
+
+    def test_defaults_applied(self):
+        record = {
+            "name": "y", "pd": 1, "md": 2, "period": 10, "deadline": 10,
+            "priority": 1,
+        }
+        task = task_from_dict(record)
+        assert task.core == 0
+        assert task.md_r == 2
+        assert task.ecbs == frozenset()
+
+
+class TestTasksetRoundTrip:
+    def test_full_round_trip(self, taskset, platform):
+        text = taskset_to_json(taskset, platform)
+        loaded_set, loaded_platform = taskset_from_json(text)
+        assert loaded_platform == platform
+        assert len(loaded_set) == len(taskset)
+        for original, loaded in zip(taskset, loaded_set):
+            assert task_to_dict(original) == task_to_dict(loaded)
+
+    def test_analysis_agrees_after_round_trip(self, taskset, platform):
+        from repro.analysis import analyze_taskset
+
+        text = taskset_to_json(taskset, platform)
+        loaded_set, loaded_platform = taskset_from_json(text)
+        original = analyze_taskset(taskset, platform)
+        loaded = analyze_taskset(loaded_set, loaded_platform)
+        assert original.schedulable == loaded.schedulable
+        assert sorted(original.response_times.values()) == sorted(
+            loaded.response_times.values()
+        )
+
+    def test_document_structure(self, taskset, platform):
+        document = json.loads(taskset_to_json(taskset, platform))
+        assert document["format"] == "repro-taskset"
+        assert document["version"] == 1
+        assert len(document["tasks"]) == len(taskset)
+
+    def test_wrong_tag_rejected(self):
+        with pytest.raises(ModelError):
+            taskset_from_json(json.dumps({"format": "other", "version": 1}))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ModelError):
+            taskset_from_json(
+                json.dumps({"format": "repro-taskset", "version": 99})
+            )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ModelError):
+            taskset_from_json("{nope")
+
+    def test_file_round_trip(self, taskset, platform, tmp_path):
+        path = tmp_path / "set.json"
+        save_taskset(taskset, platform, path)
+        loaded_set, loaded_platform = load_taskset(path)
+        assert loaded_platform == platform
+        assert len(loaded_set) == len(taskset)
+
+
+class TestFormatEdgeCases:
+    def test_indentation_parameter(self, taskset, platform):
+        compact = taskset_to_json(taskset, platform, indent=0)
+        assert json.loads(compact)["format"] == "repro-taskset"
+
+    def test_tasks_default_missing_sections(self):
+        document = json.dumps(
+            {
+                "format": "repro-taskset",
+                "version": 1,
+                "platform": {
+                    "num_cores": 1,
+                    "cache": {"num_sets": 16, "block_size": 32},
+                    "d_mem": 10,
+                    "bus_policy": "fp",
+                    "slot_size": 1,
+                },
+                "tasks": [
+                    {
+                        "name": "t",
+                        "pd": 1,
+                        "md": 0,
+                        "period": 10,
+                        "deadline": 10,
+                        "priority": 1,
+                    }
+                ],
+            }
+        )
+        loaded_set, loaded_platform = taskset_from_json(document)
+        assert len(loaded_set) == 1
+        assert loaded_platform.num_cores == 1

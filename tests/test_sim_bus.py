@@ -1,0 +1,144 @@
+"""Unit tests for the simulator's bus arbiters."""
+
+import pytest
+
+from repro.model.platform import BusPolicy, Platform
+from repro.sim.bus import (
+    BusRequest,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+    make_arbiter,
+)
+
+
+def request(priority, arrival, core, seq=0):
+    return BusRequest(
+        priority=priority, arrival=arrival, sequence=seq, core=core
+    )
+
+
+@pytest.fixture()
+def platform():
+    return Platform(num_cores=4, d_mem=10, slot_size=2)
+
+
+class TestFixedPriorityArbiter:
+    def test_highest_priority_first(self, platform):
+        arbiter = FixedPriorityArbiter(platform)
+        low = request(5, 0, 0, 1)
+        high = request(1, 3, 1, 2)
+        arbiter.enqueue(low)
+        arbiter.enqueue(high)
+        picked, start = arbiter.select(10)
+        assert picked is high
+        assert start == 10
+
+    def test_fifo_within_priority(self, platform):
+        arbiter = FixedPriorityArbiter(platform)
+        first = request(3, 0, 0, 1)
+        second = request(3, 1, 1, 2)
+        arbiter.enqueue(second)
+        arbiter.enqueue(first)
+        picked, _ = arbiter.select(5)
+        assert picked is first
+
+    def test_empty_returns_none(self, platform):
+        assert FixedPriorityArbiter(platform).select(0) is None
+
+    def test_selected_request_removed(self, platform):
+        arbiter = FixedPriorityArbiter(platform)
+        arbiter.enqueue(request(1, 0, 0, 1))
+        arbiter.select(0)
+        assert not arbiter.has_pending
+
+
+class TestRoundRobinArbiter:
+    def test_rotates_between_cores(self, platform):
+        arbiter = RoundRobinArbiter(platform)
+        for seq in range(6):
+            arbiter.enqueue(request(1, seq, core=seq % 2, seq=seq))
+        served_cores = []
+        for _ in range(6):
+            picked, _ = arbiter.select(0)
+            served_cores.append(picked.core)
+        # Slot size 2: two transactions per core before the token moves.
+        assert served_cores == [0, 0, 1, 1, 0, 1]
+
+    def test_skips_empty_cores(self, platform):
+        arbiter = RoundRobinArbiter(platform)
+        arbiter.enqueue(request(1, 0, core=3, seq=1))
+        picked, start = arbiter.select(7)
+        assert picked.core == 3
+        assert start == 7
+
+    def test_fifo_within_core(self, platform):
+        arbiter = RoundRobinArbiter(platform)
+        first = request(9, 0, core=0, seq=1)
+        second = request(1, 5, core=0, seq=2)
+        arbiter.enqueue(second)
+        arbiter.enqueue(first)
+        picked, _ = arbiter.select(0)
+        assert picked is first  # RR ignores task priority, serves FIFO
+
+    def test_empty_returns_none(self, platform):
+        assert RoundRobinArbiter(platform).select(0) is None
+
+
+class TestTdmaArbiter:
+    # Platform: 4 cores, slot 2, d_mem 10 -> windows of 20 cycles,
+    # cycle length 80.  Core c owns [20c, 20c+20).
+
+    def test_owner_starts_immediately(self, platform):
+        arbiter = TdmaArbiter(platform)
+        assert arbiter.earliest_start(0, 5) == 5
+        assert arbiter.earliest_start(1, 25) == 25
+
+    def test_foreign_slot_waits_for_window(self, platform):
+        arbiter = TdmaArbiter(platform)
+        assert arbiter.earliest_start(1, 5) == 20
+        assert arbiter.earliest_start(0, 25) == 80
+
+    def test_window_boundaries(self, platform):
+        arbiter = TdmaArbiter(platform)
+        assert arbiter.earliest_start(0, 0) == 0
+        assert arbiter.earliest_start(0, 19) == 19  # still inside, may overrun
+        assert arbiter.earliest_start(0, 20) == 80
+
+    def test_wraps_to_next_cycle(self, platform):
+        arbiter = TdmaArbiter(platform)
+        assert arbiter.earliest_start(2, 75) == 80 + 40
+
+    def test_select_prefers_earliest_eligible(self, platform):
+        arbiter = TdmaArbiter(platform)
+        core0 = request(9, 0, core=0, seq=1)
+        core3 = request(1, 0, core=3, seq=2)
+        arbiter.enqueue(core0)
+        arbiter.enqueue(core3)
+        # At t=61 core 3 owns the bus (window 60..80): it starts now, the
+        # core-0 request waits for the next cycle.
+        picked, start = arbiter.select(61)
+        assert picked is core3
+        assert start == 61
+        picked2, start2 = arbiter.select(71)
+        assert picked2 is core0
+        assert start2 == 80
+
+    def test_empty_returns_none(self, platform):
+        assert TdmaArbiter(platform).select(0) is None
+
+
+class TestFactory:
+    def test_policies_map_to_arbiters(self, platform):
+        assert isinstance(
+            make_arbiter(platform.with_bus_policy(BusPolicy.FP)),
+            FixedPriorityArbiter,
+        )
+        assert isinstance(
+            make_arbiter(platform.with_bus_policy(BusPolicy.RR)),
+            RoundRobinArbiter,
+        )
+        assert isinstance(
+            make_arbiter(platform.with_bus_policy(BusPolicy.TDMA)), TdmaArbiter
+        )
+        assert make_arbiter(platform.with_bus_policy(BusPolicy.PERFECT)) is None

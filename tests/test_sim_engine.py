@@ -1,0 +1,285 @@
+"""Unit tests for the discrete-event simulator engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.platform import BusPolicy, CacheGeometry, Platform
+from repro.model.task import Task, TaskSet
+from repro.program.cfg import Block, Loop, Program, Seq
+from repro.sim.engine import MulticoreSimulator, simulate
+from repro.sim.workload import (
+    SimWorkload,
+    periodic_releases,
+    workload_from_programs,
+)
+
+
+def make_task(name, priority, core, pd, md, period, md_r=None):
+    return Task(
+        name=name,
+        pd=pd,
+        md=md,
+        md_r=md_r,
+        period=period,
+        deadline=period,
+        priority=priority,
+        core=core,
+    )
+
+
+def program_for(lines, work, start_line=0, loop=1, uncached=0):
+    block = Block(
+        start=start_line * 32, n_instructions=8 * lines, work=work, uncached=uncached
+    )
+    root = Loop(block, bound=loop) if loop > 1 else block
+    return Program(name="prog", root=root)
+
+
+def build_workload(entries, platform):
+    """entries: list of (task, program)."""
+    taskset = TaskSet([task for task, _ in entries])
+    programs = {task: prog for task, prog in entries}
+    return workload_from_programs(taskset, platform, programs), taskset
+
+
+class TestSingleTask:
+    def test_response_time_is_pd_plus_memory(self):
+        platform = Platform(num_cores=1, d_mem=10, bus_policy=BusPolicy.FP)
+        task = make_task("solo", 1, 0, pd=40, md=3, period=1000)
+        workload, taskset = build_workload(
+            [(task, program_for(lines=3, work=40))], platform
+        )
+        result = simulate(workload, platform, duration=3000)
+        stats = result.of(task)
+        # First job: 40 cycles of work + 3 misses x 10 cycles.
+        assert stats.jobs[0].response_time == 40 + 30
+
+    def test_persistence_across_jobs(self):
+        platform = Platform(num_cores=1, d_mem=10, bus_policy=BusPolicy.FP)
+        task = make_task("solo", 1, 0, pd=40, md=3, period=1000)
+        workload, _ = build_workload(
+            [(task, program_for(lines=3, work=40))], platform
+        )
+        result = simulate(workload, platform, duration=5000)
+        stats = result.of(task)
+        assert stats.jobs[0].bus_accesses == 3
+        # All three lines are persistent: later jobs run from the cache.
+        assert all(j.bus_accesses == 0 for j in stats.jobs[1:] if j.finish)
+        assert stats.jobs[1].response_time == 40
+
+    def test_uncached_traffic_never_cached(self):
+        platform = Platform(num_cores=1, d_mem=10, bus_policy=BusPolicy.FP)
+        task = make_task("solo", 1, 0, pd=40, md=5, period=1000)
+        workload, _ = build_workload(
+            [(task, program_for(lines=3, work=40, uncached=2))], platform
+        )
+        result = simulate(workload, platform, duration=5000)
+        stats = result.of(task)
+        assert stats.jobs[0].bus_accesses == 5
+        assert stats.jobs[1].bus_accesses == 2
+
+
+class TestPreemption:
+    def test_high_priority_preempts(self):
+        platform = Platform(num_cores=1, d_mem=10, bus_policy=BusPolicy.FP)
+        # lp releases at 0 and runs long; hp releases at its period bound.
+        hp = make_task("hp", 1, 0, pd=50, md=1, period=300)
+        lp = make_task("lp", 2, 0, pd=400, md=1, period=2000)
+        workload, _ = build_workload(
+            [
+                (hp, program_for(lines=1, work=50, start_line=0)),
+                (lp, program_for(lines=1, work=400, start_line=10)),
+            ],
+            platform,
+        )
+        result = simulate(workload, platform, duration=2000)
+        hp_stats = result.of(hp)
+        lp_stats = result.of(lp)
+        # hp is never delayed by more than one in-flight lp access.
+        for job in hp_stats.completed_jobs:
+            assert job.response_time <= 50 + 10 + 10
+        # lp accumulates all hp interference.
+        assert lp_stats.jobs[0].response_time > 400
+
+    def test_cache_evictions_by_preempting_task(self):
+        platform = Platform(
+            num_cores=1,
+            d_mem=10,
+            bus_policy=BusPolicy.FP,
+            cache=CacheGeometry(num_sets=16),
+        )
+        # Both tasks map onto set 0: the hp job evicts lp's line every time.
+        hp = make_task("hp", 1, 0, pd=10, md=1, period=97)
+        lp = make_task("lp", 2, 0, pd=300, md=10, period=3000)
+        lp_program = Program(
+            name="lp",
+            root=Loop(Block(start=0, n_instructions=8, work=30), bound=10),
+        )
+        hp_program = Program(
+            name="hp", root=Block(start=16 * 32, n_instructions=8, work=10)
+        )
+        workload, _ = build_workload(
+            [(hp, hp_program), (lp, lp_program)], platform
+        )
+        result = simulate(workload, platform, duration=3000)
+        lp_stats = result.of(lp)
+        # Without preemption lp would miss once; each hp preemption forces
+        # a reload of the conflicting line.
+        assert lp_stats.jobs[0].bus_accesses > 1
+
+
+class TestBusContention:
+    def test_remote_core_contention_delays(self):
+        base = dict(d_mem=10, bus_policy=BusPolicy.FP)
+        # Task under observation on core 0, a bus hog on core 1.
+        observed = make_task("obs", 2, 0, pd=100, md=10, period=5000)
+        hog = make_task("hog", 1, 1, pd=10, md=40, period=600)
+        obs_prog = program_for(lines=10, work=100, start_line=0)
+        hog_prog = program_for(lines=20, work=10, start_line=100, loop=2, uncached=20)
+
+        platform = Platform(num_cores=2, **base)
+        workload, _ = build_workload(
+            [(hog, hog_prog), (observed, obs_prog)], platform
+        )
+        contended = simulate(workload, platform, duration=5000)
+
+        solo_platform = Platform(num_cores=1, **base)
+        solo = make_task("obs", 1, 0, pd=100, md=10, period=5000)
+        solo_workload, _ = build_workload([(solo, obs_prog)], solo_platform)
+        alone = simulate(solo_workload, solo_platform, duration=5000)
+
+        assert (
+            contended.of(observed).jobs[0].response_time
+            > alone.of(solo).jobs[0].response_time
+        )
+
+    def test_perfect_bus_never_queues(self):
+        platform = Platform(num_cores=2, d_mem=10, bus_policy=BusPolicy.PERFECT)
+        t1 = make_task("a", 1, 0, pd=20, md=5, period=1000)
+        t2 = make_task("b", 2, 1, pd=20, md=5, period=1000)
+        prog1 = program_for(lines=5, work=20, start_line=0)
+        prog2 = program_for(lines=5, work=20, start_line=50)
+        workload, _ = build_workload([(t1, prog1), (t2, prog2)], platform)
+        result = simulate(workload, platform, duration=1000)
+        for task in (t1, t2):
+            assert result.of(task).jobs[0].response_time == 20 + 5 * 10
+
+
+class TestTdmaSemantics:
+    def test_bus_idles_outside_owner_windows(self):
+        platform = Platform(
+            num_cores=2, d_mem=10, bus_policy=BusPolicy.TDMA, slot_size=1
+        )
+        # Core 1's task requests at t=0 but owns only [10, 20) of each
+        # 20-cycle TDMA cycle.
+        task = make_task("t", 1, 1, pd=0, md=1, period=500)
+        program = Program(name="p", root=Block(start=0, n_instructions=8, work=0))
+        workload, _ = build_workload([(task, program)], platform)
+        result = simulate(workload, platform, duration=500)
+        # Release at 0, window starts at 10, service 10 -> finish 20.
+        assert result.of(task).jobs[0].response_time == 20
+
+
+class TestReleasePlans:
+    def test_periodic_plan_counts(self):
+        task = make_task("t", 1, 0, pd=10, md=1, period=100)
+        plan = periodic_releases(TaskSet([task]), duration=1000)
+        assert plan.of(task) == list(range(0, 1000, 100))
+
+    def test_jitter_requires_rng(self):
+        task = make_task("t", 1, 0, pd=10, md=1, period=100)
+        with pytest.raises(SimulationError):
+            periodic_releases(TaskSet([task]), duration=1000, jitter=0.5)
+
+    def test_jittered_gaps_at_least_period(self):
+        import random
+
+        task = make_task("t", 1, 0, pd=10, md=1, period=100)
+        plan = periodic_releases(
+            TaskSet([task]), duration=5000, jitter=0.5, rng=random.Random(1)
+        )
+        releases = plan.of(task)
+        gaps = [b - a for a, b in zip(releases, releases[1:])]
+        assert all(gap >= 100 for gap in gaps)
+
+    def test_rejects_bad_duration(self):
+        task = make_task("t", 1, 0, pd=10, md=1, period=100)
+        with pytest.raises(SimulationError):
+            periodic_releases(TaskSet([task]), duration=0)
+
+
+class TestWorkloadValidation:
+    def test_missing_trace_rejected(self):
+        task = make_task("t", 1, 0, pd=10, md=1, period=100)
+        with pytest.raises(SimulationError):
+            SimWorkload(taskset=TaskSet([task]), traces={})
+
+    def test_missing_program_rejected(self):
+        platform = Platform(num_cores=1, d_mem=10)
+        task = make_task("t", 1, 0, pd=10, md=1, period=100)
+        with pytest.raises(SimulationError):
+            workload_from_programs(TaskSet([task]), platform, {})
+
+
+class TestMetrics:
+    def test_bus_utilization_reported(self):
+        platform = Platform(num_cores=1, d_mem=10, bus_policy=BusPolicy.FP)
+        task = make_task("t", 1, 0, pd=10, md=5, period=200)
+        workload, _ = build_workload(
+            [(task, program_for(lines=5, work=10, uncached=0))], platform
+        )
+        sim = MulticoreSimulator(workload, platform, duration=2000)
+        result = sim.run()
+        assert 0 < result.bus_utilization < 1
+
+    def test_unfinished_jobs_have_no_response(self):
+        platform = Platform(num_cores=1, d_mem=10, bus_policy=BusPolicy.FP)
+        # Overloaded: pd > period.
+        task = make_task("t", 1, 0, pd=300, md=1, period=100)
+        workload, _ = build_workload(
+            [(task, program_for(lines=1, work=300))], platform
+        )
+        result = simulate(workload, platform, duration=400, horizon=500)
+        stats = result.of(task)
+        assert any(j.finish is None for j in stats.jobs)
+        assert all(j.response_time is None for j in stats.jobs if j.finish is None)
+
+
+class TestBusWaitStats:
+    def test_waits_recorded_per_core(self):
+        platform = Platform(num_cores=2, d_mem=10, bus_policy=BusPolicy.FP)
+        t1 = make_task("a", 1, 0, pd=20, md=5, period=1000)
+        t2 = make_task("b", 2, 1, pd=20, md=5, period=1000)
+        prog1 = program_for(lines=5, work=20, start_line=0)
+        prog2 = program_for(lines=5, work=20, start_line=50)
+        workload, _ = build_workload([(t1, prog1), (t2, prog2)], platform)
+        result = simulate(workload, platform, duration=2000)
+        total_transactions = sum(s.count for s in result.bus_waits.values())
+        issued = sum(
+            stats.total_bus_accesses for stats in result.stats.values()
+        )
+        assert total_transactions == issued
+
+    def test_contention_produces_waiting(self):
+        platform = Platform(num_cores=2, d_mem=10, bus_policy=BusPolicy.FP)
+        # Simultaneous release, both immediately fetch: one must wait.
+        t1 = make_task("a", 1, 0, pd=0, md=3, period=1000)
+        t2 = make_task("b", 2, 1, pd=0, md=3, period=1000)
+        prog1 = program_for(lines=3, work=0, start_line=0)
+        prog2 = program_for(lines=3, work=0, start_line=50)
+        workload, _ = build_workload([(t1, prog1), (t2, prog2)], platform)
+        result = simulate(workload, platform, duration=1000)
+        # The lower-priority core's requests waited behind core 0's.
+        assert result.bus_waits[1].max_wait > 0
+        assert result.bus_waits[1].mean_wait > 0
+
+    def test_perfect_bus_never_waits(self):
+        platform = Platform(num_cores=2, d_mem=10, bus_policy=BusPolicy.PERFECT)
+        t1 = make_task("a", 1, 0, pd=0, md=3, period=1000)
+        t2 = make_task("b", 2, 1, pd=0, md=3, period=1000)
+        prog1 = program_for(lines=3, work=0, start_line=0)
+        prog2 = program_for(lines=3, work=0, start_line=50)
+        workload, _ = build_workload([(t1, prog1), (t2, prog2)], platform)
+        result = simulate(workload, platform, duration=1000)
+        for stats in result.bus_waits.values():
+            assert stats.max_wait == 0

@@ -1,0 +1,158 @@
+"""Integration tests: simulated behaviour never exceeds the analysis bounds.
+
+These tests build scenarios where the task parameters are *extracted from
+the very programs the simulator executes*, run both worlds, and check:
+
+* observed response times <= analytical WCRT bounds (all arbiters; TDMA
+  uses the alignment-safe variant, see ``AnalysisConfig``);
+* per-job bus accesses <= ``MD``; steady-state per-job accesses <= ``MDr``
+  plus CPRO effects;
+* the perfect-bus analysis is exact for isolated single-core workloads.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.wcrt import analyze_taskset
+from repro.model.platform import BusPolicy, CacheGeometry, Platform
+from repro.sim import (
+    ScenarioSpec,
+    build_scenario,
+    simulate,
+    workload_from_programs,
+)
+
+VALIDATION_CONFIG = AnalysisConfig(persistence=True, tdma_slot_alignment=True)
+BASELINE_CONFIG = AnalysisConfig(persistence=False, tdma_slot_alignment=True)
+
+SPECS = [
+    ScenarioSpec("lcdnum", 0, period_factor=6.0),
+    ScenarioSpec("bs", 0, period_factor=8.0),
+    ScenarioSpec("cnt", 1, period_factor=6.0),
+    ScenarioSpec("fibcall", 1, period_factor=10.0),
+]
+
+
+def run_scenario(policy, specs=SPECS, rng=None, jitter=0.0, jitter_rng=None):
+    platform = Platform(
+        num_cores=2,
+        cache=CacheGeometry(num_sets=256),
+        d_mem=10,
+        bus_policy=policy,
+        slot_size=2,
+    )
+    scenario = build_scenario(specs, platform, rng=rng)
+    analysis = analyze_taskset(scenario.taskset, platform, VALIDATION_CONFIG)
+    workload = workload_from_programs(
+        scenario.taskset, platform, scenario.programs
+    )
+    duration = int(max(t.period for t in scenario.taskset)) * 15
+    observed = simulate(
+        workload, platform, duration=duration, jitter=jitter, rng=jitter_rng
+    )
+    return scenario, analysis, observed
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [BusPolicy.FP, BusPolicy.RR, BusPolicy.TDMA, BusPolicy.PERFECT],
+    ids=lambda p: p.value,
+)
+class TestBoundsHold:
+    def test_response_times_bounded(self, policy):
+        scenario, analysis, observed = run_scenario(policy)
+        assert analysis.schedulable
+        for task in scenario.taskset:
+            stats = observed.of(task)
+            assert stats.max_response_time is not None
+            assert stats.max_response_time <= analysis.response_time(task)
+
+    def test_per_job_accesses_bounded_by_md(self, policy):
+        scenario, analysis, observed = run_scenario(policy)
+        for task in scenario.taskset:
+            assert observed.of(task).max_job_bus_accesses <= task.md
+
+    def test_baseline_bound_dominates_persistence_bound(self, policy):
+        scenario, _, _ = run_scenario(policy)
+        platform = scenario.platform
+        aware = analyze_taskset(scenario.taskset, platform, VALIDATION_CONFIG)
+        baseline = analyze_taskset(scenario.taskset, platform, BASELINE_CONFIG)
+        if aware.schedulable and baseline.schedulable:
+            for task in scenario.taskset:
+                assert aware.response_time(task) <= baseline.response_time(task)
+
+
+class TestPersistenceEmerges:
+    def test_first_job_pays_md_later_jobs_pay_md_r(self):
+        # Single task per core: no inter-task evictions, so the residual
+        # demand is observed exactly.
+        specs = [ScenarioSpec("lcdnum", 0), ScenarioSpec("cnt", 1)]
+        scenario, analysis, observed = run_scenario(BusPolicy.FP, specs=specs)
+        for task in scenario.taskset:
+            stats = observed.of(task)
+            assert stats.jobs[0].bus_accesses == task.md
+            for job in stats.completed_jobs[1:]:
+                assert job.bus_accesses == task.md_r
+
+    def test_cpro_bounded_by_cpro_union(self):
+        # Two tasks sharing a core: the extra accesses of later jobs over
+        # MDr are PCB reloads, bounded by the CPRO eviction count.
+        from repro.persistence.cpro import CproCalculator
+
+        scenario, analysis, observed = run_scenario(BusPolicy.FP)
+        cpro = CproCalculator(scenario.taskset)
+        lowest = scenario.taskset.lowest_priority_task
+        for task in scenario.taskset:
+            evictable = cpro.eviction_count(task, lowest)
+            for job in observed.of(task).completed_jobs[1:]:
+                assert job.bus_accesses <= task.md_r + evictable
+
+
+class TestJitteredReleases:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_sporadic_arrivals_stay_within_bounds(self, seed):
+        rng = random.Random(seed)
+        scenario, analysis, observed = run_scenario(
+            BusPolicy.FP, jitter=0.4, jitter_rng=rng
+        )
+        for task in scenario.taskset:
+            stats = observed.of(task)
+            assert stats.max_response_time <= analysis.response_time(task)
+
+
+class TestRandomisedScenarios:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_layouts_never_violate_bounds(self, seed):
+        rng = random.Random(1000 + seed)
+        names = ["lcdnum", "bs", "cnt", "fibcall", "insertsort", "ns"]
+        rng.shuffle(names)
+        specs = [
+            ScenarioSpec(name, core=i % 2, period_factor=6 + (i % 3) * 2)
+            for i, name in enumerate(names[:4])
+        ]
+        policy = rng.choice([BusPolicy.FP, BusPolicy.RR, BusPolicy.TDMA])
+        scenario, analysis, observed = run_scenario(policy, specs=specs, rng=rng)
+        if not analysis.schedulable:
+            pytest.skip("scenario not schedulable under the analysis")
+        for task in scenario.taskset:
+            stats = observed.of(task)
+            assert stats.max_response_time <= analysis.response_time(task)
+
+
+class TestExactnessForIsolation:
+    def test_perfect_bus_single_core_bound_is_tight(self):
+        platform = Platform(
+            num_cores=1, d_mem=10, bus_policy=BusPolicy.PERFECT
+        )
+        scenario = build_scenario([ScenarioSpec("bs", 0)], platform)
+        analysis = analyze_taskset(scenario.taskset, platform, VALIDATION_CONFIG)
+        workload = workload_from_programs(
+            scenario.taskset, platform, scenario.programs
+        )
+        task = scenario.taskset.tasks[0]
+        observed = simulate(workload, platform, duration=int(task.period) * 4)
+        assert observed.of(task).jobs[0].response_time == analysis.response_time(
+            task
+        )

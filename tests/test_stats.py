@@ -1,0 +1,64 @@
+"""Unit tests for the Wilson-interval statistics helpers."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.config import SweepSettings, default_platform, standard_variants
+from repro.experiments.runner import run_curve, schedulability_ratios
+from repro.experiments.stats import ratio_confidence_intervals, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        for successes, trials in ((0, 10), (3, 10), (10, 10), (50, 100)):
+            low, high = wilson_interval(successes, trials)
+            assert low <= successes / trials <= high
+
+    def test_bounds_within_unit_interval(self):
+        low, high = wilson_interval(0, 5)
+        assert low == 0.0
+        assert high < 1.0
+        low, high = wilson_interval(5, 5)
+        assert low > 0.0
+        assert high == 1.0
+
+    def test_narrower_with_more_samples(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_wider_with_higher_confidence(self):
+        c90 = wilson_interval(30, 100, confidence=0.90)
+        c99 = wilson_interval(30, 100, confidence=0.99)
+        assert c99[1] - c99[0] > c90[1] - c90[0]
+
+    def test_symmetric_in_successes(self):
+        low_a, high_a = wilson_interval(20, 100)
+        low_b, high_b = wilson_interval(80, 100)
+        assert low_a == pytest.approx(1 - high_b, abs=1e-9)
+        assert high_a == pytest.approx(1 - low_b, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(1, 0)
+        with pytest.raises(AnalysisError):
+            wilson_interval(-1, 10)
+        with pytest.raises(AnalysisError):
+            wilson_interval(11, 10)
+        with pytest.raises(AnalysisError):
+            wilson_interval(5, 10, confidence=0.5)
+
+
+class TestCurveIntervals:
+    def test_intervals_bracket_ratios(self):
+        settings = SweepSettings(samples=6, seed=3, utilizations=(0.3, 0.5))
+        platform = default_platform()
+        variants = standard_variants(include_perfect=False)[:2]
+        outcomes = run_curve(platform, variants, settings)
+        ratios = schedulability_ratios(outcomes, variants)
+        intervals = ratio_confidence_intervals(
+            outcomes, [v.label for v in variants]
+        )
+        for label in intervals:
+            for (low, high), ratio in zip(intervals[label], ratios[label]):
+                assert low <= ratio <= high

@@ -1,0 +1,130 @@
+"""Unit tests for trace lowering and the exact trace simulator."""
+
+import pytest
+
+from repro.cacheanalysis.extraction import extract_parameters
+from repro.cacheanalysis.simulator import simulate_trace
+from repro.cacheanalysis.state import DirectMappedCache
+from repro.errors import ProgramError
+from repro.model.platform import CacheGeometry
+from repro.program.cfg import Alt, Block, Loop, Program, Seq
+from repro.program.malardalen import ALL_MODELS
+from repro.program.trace import TraceStep, worst_case_trace
+
+GEO = CacheGeometry(num_sets=16, block_size=32)
+
+
+def line_block(line, n_lines=1, uncached=0, work=None):
+    kwargs = {}
+    if work is not None:
+        kwargs["work"] = work
+    return Block(start=line * 32, n_instructions=8 * n_lines, uncached=uncached, **kwargs)
+
+
+class TestTraceStep:
+    def test_rejects_negative_work(self):
+        with pytest.raises(ProgramError):
+            TraceStep(work=-1)
+
+    def test_uncached_excludes_block(self):
+        with pytest.raises(ProgramError):
+            TraceStep(work=0, block=3, uncached=True)
+
+
+class TestLowering:
+    def test_one_step_per_memory_block(self):
+        program = Program(name="p", root=line_block(0, n_lines=3))
+        steps = worst_case_trace(program, GEO)
+        assert [s.block for s in steps] == [0, 1, 2]
+
+    def test_work_distributed_across_steps(self):
+        program = Program(name="p", root=line_block(0, n_lines=3, work=10))
+        steps = worst_case_trace(program, GEO)
+        assert sum(s.work for s in steps) == 10
+
+    def test_uncached_steps_emitted(self):
+        program = Program(name="p", root=line_block(0, uncached=2))
+        steps = worst_case_trace(program, GEO)
+        assert sum(1 for s in steps if s.uncached) == 2
+        assert sum(1 for s in steps if s.block is not None) == 1
+
+    def test_loops_unrolled(self):
+        program = Program(name="p", root=Loop(line_block(0), bound=5))
+        steps = worst_case_trace(program, GEO)
+        assert len(steps) == 5
+
+    def test_step_cap_enforced(self):
+        program = Program(name="p", root=Loop(line_block(0), bound=1000))
+        with pytest.raises(ProgramError):
+            worst_case_trace(program, GEO, max_steps=100)
+
+    def test_alt_takes_heavier_branch(self):
+        heavy = line_block(0, n_lines=4)
+        light = line_block(8, n_lines=1)
+        program = Program(name="p", root=Alt(heavy, light))
+        steps = worst_case_trace(program, GEO)
+        assert [s.block for s in steps] == [0, 1, 2, 3]
+
+    def test_alt_choice_is_state_dependent(self):
+        # Once the heavy branch's blocks are cached, the other branch has
+        # the larger demand and is chosen on the second encounter.
+        branch_a = line_block(0, n_lines=2)
+        branch_b = line_block(8, n_lines=2)
+        program = Program(
+            name="p", root=Loop(Alt(branch_a, branch_b), bound=2)
+        )
+        steps = worst_case_trace(program, GEO)
+        assert [s.block for s in steps] == [0, 1, 8, 9]
+
+
+class TestTraceAgainstExtraction:
+    @pytest.mark.parametrize("program", ALL_MODELS, ids=lambda p: p.name)
+    def test_trace_demand_never_exceeds_md(self, program):
+        """The lowered trace, replayed cold, demands at most the analysed MD."""
+        geometry = CacheGeometry(num_sets=256, block_size=32)
+        scaled = program.scaled(0.05)
+        params = extract_parameters(scaled, geometry)
+        steps = worst_case_trace(scaled, geometry)
+        cached = [s.block for s in steps if s.block is not None]
+        uncached = sum(1 for s in steps if s.uncached)
+        result = simulate_trace(cached, geometry)
+        assert result.misses + uncached <= params.md
+
+    @pytest.mark.parametrize("program", ALL_MODELS, ids=lambda p: p.name)
+    def test_trace_work_never_exceeds_pd(self, program):
+        geometry = CacheGeometry(num_sets=256, block_size=32)
+        scaled = program.scaled(0.05)
+        params = extract_parameters(scaled, geometry)
+        steps = worst_case_trace(scaled, geometry)
+        assert sum(s.work for s in steps) <= params.pd
+
+
+class TestSimulateTrace:
+    def test_counts_hits_and_misses(self):
+        result = simulate_trace([1, 1, 2, 1], GEO)
+        assert result.misses == 2
+        assert result.hits == 2
+        assert result.accesses == 4
+
+    def test_hit_sets_recorded(self):
+        result = simulate_trace([1, 1, 5], GEO)
+        assert result.hit_sets == frozenset({1})
+
+    def test_initial_state_respected(self):
+        warm = DirectMappedCache.with_resident_blocks(GEO, [3])
+        result = simulate_trace([3], GEO, initial=warm)
+        assert result.misses == 0
+
+    def test_initial_state_not_mutated(self):
+        warm = DirectMappedCache.with_resident_blocks(GEO, [3])
+        simulate_trace([19], GEO, initial=warm)  # 19 conflicts with 3
+        assert warm.lookup(3)
+
+    def test_final_state_returned(self):
+        result = simulate_trace([1, 2], GEO)
+        assert result.final_state.lookup(1)
+        assert result.final_state.lookup(2)
+
+    def test_empty_trace(self):
+        result = simulate_trace([], GEO)
+        assert result.accesses == 0

@@ -1,0 +1,66 @@
+"""Tests for the randomised analysis-vs-simulation validation campaign."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.platform import BusPolicy
+from repro.sim.validation import run_campaign
+
+
+class TestCampaign:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_no_bound_violations(self, seed):
+        result = run_campaign(scenarios=8, seed=seed)
+        assert result.scenarios == 8
+        assert result.passed, result.violations
+
+    def test_policies_rotate(self):
+        result = run_campaign(scenarios=4, seed=5)
+        policies = [report.policy for report in result.reports]
+        assert policies == [
+            BusPolicy.FP,
+            BusPolicy.RR,
+            BusPolicy.TDMA,
+            BusPolicy.PERFECT,
+        ]
+
+    def test_jittered_releases_also_validate(self):
+        result = run_campaign(scenarios=4, seed=9, jitter=0.4)
+        assert result.passed, result.violations
+
+    def test_schedulable_scenarios_check_tasks(self):
+        result = run_campaign(scenarios=8, seed=3)
+        checked = sum(r.checked_tasks for r in result.reports if r.schedulable)
+        assert checked > 0
+
+    def test_slack_within_unit_interval(self):
+        result = run_campaign(scenarios=6, seed=11)
+        assert 0.0 <= result.min_slack <= 1.0
+
+    def test_single_policy_campaign(self):
+        result = run_campaign(
+            scenarios=3, seed=1, policies=(BusPolicy.RR,)
+        )
+        assert all(r.policy is BusPolicy.RR for r in result.reports)
+
+    def test_custom_benchmark_pool(self):
+        result = run_campaign(
+            scenarios=2, seed=2, benchmarks=("lcdnum", "bs", "cnt")
+        )
+        assert result.scenarios == 2
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SimulationError):
+            run_campaign(scenarios=1, benchmarks=("nonexistent",))
+
+    def test_zero_scenarios_rejected(self):
+        with pytest.raises(SimulationError):
+            run_campaign(scenarios=0)
+
+    def test_empty_campaign_properties(self):
+        from repro.sim.validation import CampaignResult
+
+        empty = CampaignResult()
+        assert empty.passed
+        assert empty.min_slack == 1.0
+        assert empty.scenarios == 0
