@@ -30,6 +30,12 @@ class AnalysisConfig:
         max_outer_iterations: bound on the outer loop that resolves the
             circular dependency between task response times.
         max_inner_iterations: bound on the per-task fixed point of Eq. (19).
+        memoization: cache the window-level interference terms
+            (:math:`W`, :math:`BAO`, :math:`BAO_{low}`, multiset CRPD) on
+            their inputs plus the epoch of the response-time estimates they
+            read.  Bit-identical results either way — the un-memoized path
+            exists as the reference for the differential correctness test
+            and costs a multiple of the run time.
     """
 
     persistence: bool = True
@@ -39,6 +45,7 @@ class AnalysisConfig:
     tdma_slot_alignment: bool = False
     max_outer_iterations: int = 64
     max_inner_iterations: int = 4096
+    memoization: bool = True
 
     def __post_init__(self) -> None:
         if self.max_outer_iterations <= 0:

@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.wcrt import WcrtResult, analyze_taskset
+from repro.perf import PerfCounters
 from repro.model.platform import BusPolicy, Platform
 from repro.model.task import TaskSet
 
@@ -42,8 +43,13 @@ def check_schedulability(
     taskset: TaskSet,
     platform: Platform,
     config: AnalysisConfig = AnalysisConfig(),
+    perf: Optional[PerfCounters] = None,
 ) -> SchedulabilityVerdict:
-    """Full schedulability verdict with the underlying WCRT result."""
+    """Full schedulability verdict with the underlying WCRT result.
+
+    ``perf`` optionally accumulates the analysis' performance counters
+    into a caller-owned aggregate (see :mod:`repro.perf`).
+    """
     d_mem = platform.d_mem
 
     # Quick necessary condition: the processing-plus-memory demand of every
@@ -64,7 +70,7 @@ def check_schedulability(
                 bus_utilization=bus_util,
                 reason="bus utilisation exceeds 1",
             )
-        result = analyze_taskset(taskset, platform, config)
+        result = analyze_taskset(taskset, platform, config, perf=perf)
         return SchedulabilityVerdict(
             schedulable=result.schedulable,
             wcrt=result,
@@ -72,7 +78,7 @@ def check_schedulability(
             reason="" if result.schedulable else "deadline miss (perfect bus)",
         )
 
-    result = analyze_taskset(taskset, platform, config)
+    result = analyze_taskset(taskset, platform, config, perf=perf)
     if result.schedulable:
         return SchedulabilityVerdict(schedulable=True, wcrt=result)
     failed = result.failed_task.name if result.failed_task else "<outer loop>"
@@ -87,6 +93,7 @@ def is_schedulable(
     taskset: TaskSet,
     platform: Platform,
     config: AnalysisConfig = AnalysisConfig(),
+    perf: Optional[PerfCounters] = None,
 ) -> bool:
     """Boolean schedulability predicate used by the experiment sweeps."""
-    return check_schedulability(taskset, platform, config).schedulable
+    return check_schedulability(taskset, platform, config, perf=perf).schedulable

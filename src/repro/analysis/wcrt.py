@@ -32,11 +32,11 @@ from typing import Dict, Optional
 from repro.analysis.config import AnalysisConfig
 from repro.businterference.arbiters import total_bus_accesses
 from repro.businterference.context import AnalysisContext
-from repro.businterference.requests import jobs_in_window
 from repro.crpd.approaches import CrpdCalculator
 from repro.errors import ConvergenceError
 from repro.model.platform import Platform
 from repro.model.task import Task, TaskSet
+from repro.perf import PerfCounters
 from repro.persistence.cpro import CproCalculator
 
 
@@ -52,12 +52,16 @@ class WcrtResult:
             the failing task maps to a value exceeding its deadline.
         failed_task: first task found unschedulable, if any.
         outer_iterations: outer-loop rounds executed.
+        perf: iteration and memo-cache counters of this analysis run.
+            Excluded from equality so memoized and reference runs with
+            identical verdicts compare equal.
     """
 
     schedulable: bool
     response_times: Dict[Task, int] = field(default_factory=dict)
     failed_task: Optional[Task] = None
     outer_iterations: int = 0
+    perf: Optional[PerfCounters] = field(default=None, compare=False, repr=False)
 
     def response_time(self, task: Task) -> int:
         """WCRT bound computed for ``task``."""
@@ -77,13 +81,21 @@ def _task_fixed_point(
     back below the deadline).
     """
     d_mem = ctx.platform.d_mem
-    same_core_hp = ctx.taskset.hp_on_core(task, task.core)
+    hp_rows = ctx._hp_rows.get(task.priority)
+    if hp_rows is None:
+        hp_rows = tuple(
+            (int(tj.period), int(tj.pd))
+            for tj in ctx.taskset.hp_on_core(task, task.core)
+        )
+        ctx._hp_rows[task.priority] = hp_rows
     pd_i = int(task.pd)
     deadline = int(task.deadline)
+    perf = ctx.perf
     r = start
     for _ in range(config.max_inner_iterations):
+        perf.inner_iterations += 1
         core_interference = sum(
-            jobs_in_window(r, int(tj.period)) * int(tj.pd) for tj in same_core_hp
+            -((-r) // period) * pd_j for period, pd_j in hp_rows
         )
         r_new = pd_i + core_interference + total_bus_accesses(ctx, task, r) * d_mem
         if r_new > deadline:
@@ -101,22 +113,44 @@ def analyze_taskset(
     taskset: TaskSet,
     platform: Platform,
     config: AnalysisConfig = AnalysisConfig(),
+    perf: Optional[PerfCounters] = None,
 ) -> WcrtResult:
     """Compute WCRT bounds for every task of ``taskset`` on ``platform``.
 
     Implements the outer loop of Sec. IV.  Analysis stops early — reporting
     the set unschedulable — as soon as any task's estimate exceeds its
     deadline, which is sound because estimates are non-decreasing.
+
+    Each call collects a fresh set of :class:`~repro.perf.PerfCounters`
+    (returned as ``result.perf``); pass ``perf`` to additionally accumulate
+    them into a caller-owned aggregate, e.g. across a sweep.
     """
     ctx = AnalysisContext(
         taskset=taskset,
         platform=platform,
         persistence=config.persistence,
-        crpd=CrpdCalculator(taskset, config.crpd_approach),
-        cpro=CproCalculator(taskset, config.cpro_approach),
+        crpd=CrpdCalculator.shared(taskset, config.crpd_approach),
+        cpro=CproCalculator.shared(taskset, config.cpro_approach),
         persistence_in_low=config.persistence_in_low,
         tdma_slot_alignment=config.tdma_slot_alignment,
+        memoize=config.memoization,
     )
+    counters = ctx.perf
+    counters.analyses += 1
+    with counters.phase("analysis"):
+        result = _analyze(ctx, taskset, platform, config)
+    result.perf = counters
+    if perf is not None:
+        perf.merge(counters)
+    return result
+
+
+def _analyze(
+    ctx: AnalysisContext,
+    taskset: TaskSet,
+    platform: Platform,
+    config: AnalysisConfig,
+) -> WcrtResult:
     d_mem = platform.d_mem
     for task in taskset:
         isolated = int(task.pd) + task.md * d_mem
@@ -132,6 +166,7 @@ def analyze_taskset(
 
     outer = 0
     for outer in range(1, config.max_outer_iterations + 1):
+        ctx.perf.outer_iterations += 1
         changed = False
         for task in taskset:
             previous = ctx.response_time(task)

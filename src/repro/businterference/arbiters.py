@@ -43,7 +43,7 @@ def blocking_accesses(ctx: AnalysisContext, task_i: Task) -> int:
 
 
 def _remote_cores(ctx: AnalysisContext, task_i: Task):
-    return (core for core in ctx.platform.cores if core != task_i.core)
+    return ctx.remote_cores(task_i.core)
 
 
 def _bat_fp(ctx: AnalysisContext, task_i: Task, t: int) -> int:

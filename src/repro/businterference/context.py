@@ -5,17 +5,34 @@ fixed for a given analysis run (task set, platform, CRPD/CPRO calculators,
 whether cache persistence is exploited) plus the current worst-case response
 time estimates of all tasks (Eq. 5/6 need :math:`R_l`, which the outer loop
 of Sec. IV refines iteratively).  :class:`AnalysisContext` bundles them.
+
+Epoch-keyed memoization
+-----------------------
+
+The remote-core terms :math:`W`, :math:`BAO` and :math:`BAO_{low}` depend,
+besides the window length ``t``, only on the response-time estimates of the
+tasks on *one* remote core — estimates that are frozen while a single
+task's inner fixed point runs and change only when the outer loop records a
+refined value.  :class:`AnalysisContext` therefore keeps one *epoch*
+counter per core (plus a global one), bumped exactly when a task on that
+core gets a new estimate, and caches each term keyed by its inputs plus
+the epoch of the core it reads.  A cache hit is by construction a
+recomputation with identical inputs, so memoized results are bit-identical
+to the naive evaluation — the differential test in
+``tests/test_differential.py`` pins this down.  Set ``memoize=False`` (via
+``AnalysisConfig(memoization=False)``) to force the reference path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.crpd.approaches import CrpdApproach, CrpdCalculator
 from repro.errors import AnalysisError
 from repro.model.platform import Platform
 from repro.model.task import Task, TaskSet
+from repro.perf import PerfCounters
 from repro.persistence.cpro import CproApproach, CproCalculator
 
 
@@ -42,6 +59,11 @@ class AnalysisContext:
             default for fidelity.
         tdma_slot_alignment: charge one extra TDMA slot of waiting per
             access (see :class:`repro.analysis.config.AnalysisConfig`).
+        memoize: cache the window-level interference terms keyed by their
+            inputs plus the epoch of the core whose estimates they read.
+            Results are bit-identical either way; disabling selects the
+            reference path used by the differential correctness test.
+        perf: counters recording iteration counts and memo hits/misses.
     """
 
     taskset: TaskSet
@@ -52,12 +74,52 @@ class AnalysisContext:
     response_times: Dict[Task, int] = field(default_factory=dict)
     persistence_in_low: bool = False
     tdma_slot_alignment: bool = False
+    memoize: bool = True
+    perf: PerfCounters = field(default_factory=PerfCounters)
+
+    #: Global estimate-revision counter ("epoch"): incremented every time
+    #: any task's response-time estimate actually changes.
+    epoch: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.crpd is None:
-            self.crpd = CrpdCalculator(self.taskset, CrpdApproach.ECB_UNION)
+            self.crpd = CrpdCalculator.shared(self.taskset, CrpdApproach.ECB_UNION)
         if self.cpro is None:
-            self.cpro = CproCalculator(self.taskset, CproApproach.UNION)
+            self.cpro = CproCalculator.shared(self.taskset, CproApproach.UNION)
+        # Per-core epoch counters: cache keys embed the epoch of the core a
+        # term reads, so revising one core's estimate leaves cached terms
+        # about the other cores valid.
+        self._core_epoch: Dict[int, int] = {
+            core: 0 for core in self.platform.cores
+        }
+        self._remote_cores: Dict[int, Tuple[int, ...]] = {
+            core: tuple(c for c in self.platform.cores if c != core)
+            for core in self.platform.cores
+        }
+        # Memo caches of the window-level interference terms.  Values store
+        # the epoch they were computed at; a mismatch is treated as a miss.
+        self._bao_cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        self._bao_low_cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        self._crpd_window_cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        # Static parameter tables (see repro.businterference.requests):
+        # everything a BAS / W evaluation needs besides the window length and
+        # the current response-time estimates.  Pure functions of the task
+        # set, the two approach enums and ``d_mem``, so they are shared
+        # across every context analysing the same task set (kept warm
+        # between runs and across sweep variants).
+        approaches = (self.crpd.approach, self.cpro.approach)
+        self._bas_rows: Dict[int, tuple] = self.taskset.derived(
+            ("bas-rows",) + approaches, dict
+        )
+        self._w_rows: Dict[Tuple[int, int, bool], tuple] = self.taskset.derived(
+            ("w-rows",) + approaches + (self.platform.d_mem,), dict
+        )
+        self._hp_rows: Dict[int, tuple] = self.taskset.derived("hp-rows", dict)
+        # With a window-oblivious CPRO approach the per-pair demand terms
+        # reduce to closed-form arithmetic over the prefetched parameters.
+        self.fast_demand: bool = self.cpro.approach is not CproApproach.MULTISET
+
+    # -- response-time estimates --------------------------------------------
 
     def response_time(self, task: Task) -> int:
         """Current WCRT estimate of ``task`` (isolated WCET if not yet set)."""
@@ -67,9 +129,30 @@ class AnalysisContext:
         return estimate
 
     def set_response_time(self, task: Task, value: int) -> None:
-        """Record a refined WCRT estimate for ``task``."""
+        """Record a refined WCRT estimate for ``task``.
+
+        Bumps the epoch of the task's core (and the global epoch) when the
+        estimate actually changes, invalidating exactly the cached terms
+        that could have read the old value.
+        """
         if value < 0:
             raise AnalysisError(
                 f"response time of {task.name!r} must be non-negative, got {value}"
             )
+        if self.response_times.get(task) != value:
+            self.epoch += 1
+            core_epoch = self._core_epoch
+            core_epoch[task.core] = core_epoch.get(task.core, 0) + 1
         self.response_times[task] = value
+
+    def core_epoch(self, core: int) -> int:
+        """Estimate-revision counter of ``core`` (cache-key ingredient)."""
+        return self._core_epoch.get(core, 0)
+
+    def remote_cores(self, core: int) -> Tuple[int, ...]:
+        """All platform cores except ``core`` (precomputed)."""
+        cores = self._remote_cores.get(core)
+        if cores is None:
+            cores = tuple(c for c in self.platform.cores if c != core)
+            self._remote_cores[core] = cores
+        return cores

@@ -17,13 +17,21 @@ All functions return *numbers of bus accesses*; multiply by ``d_mem`` for
 time.  Window lengths and all task parameters are integers (cycles /
 request counts) so every bound is exact — no floating-point ceil/floor
 pitfalls.
+
+Memoization: within one run of the outer loop of Sec. IV the response-time
+estimates a remote-core term reads are frozen, so :func:`bao`,
+:func:`bao_low` (each a fused sum of the per-pair :math:`W` terms over one
+remote core) and the window-level multiset CRPD term are cached on
+``(inputs, epoch-of-the-core-they-read)`` — see
+:class:`~repro.businterference.context.AnalysisContext`.  A cache hit
+replays a computation with identical inputs, so results are bit-identical
+to the un-memoized reference path (``ctx.memoize = False``).
 """
 
 from __future__ import annotations
 
 from repro.businterference.context import AnalysisContext
 from repro.crpd.approaches import CrpdApproach
-from repro.crpd.multiset import ecb_union_multiset_window
 from repro.errors import AnalysisError
 from repro.model.task import Task
 from repro.persistence.demand import multi_job_demand
@@ -52,6 +60,52 @@ def jobs_in_window(t: int, period: int) -> int:
 # ---------------------------------------------------------------------------
 
 
+def crpd_multiset_window(ctx: AnalysisContext, task_i: Task, task_j: Task, t: int) -> int:
+    """Window-level multiset CRPD term of :math:`BAS`, memoized per epoch.
+
+    The term reads the response-time estimates of the affected tasks on
+    ``task_j``'s core, so cached values are keyed by that core's epoch.
+    """
+    if not ctx.memoize:
+        return ctx.crpd.multiset_window(task_i, task_j, t, ctx.response_time)
+    key = (task_i.priority, task_j.priority, t)
+    epoch = ctx.core_epoch(task_j.core)
+    cached = ctx._crpd_window_cache.get(key)
+    if cached is not None and cached[0] == epoch:
+        ctx.perf.crpd_window_hits += 1
+        return cached[1]
+    ctx.perf.crpd_window_misses += 1
+    value = ctx.crpd.multiset_window(task_i, task_j, t, ctx.response_time)
+    ctx._crpd_window_cache[key] = (epoch, value)
+    return value
+
+
+def _bas_rows(ctx: AnalysisContext, task_i: Task) -> tuple:
+    """Prefetched static parameters of ``task_i``'s same-core BAS loop.
+
+    One row per same-core higher-priority task ``task_j``:
+    ``(task_j, period, md, md_r, |PCB|, gamma(i, j), evictable_pcbs(j, i))``.
+    Every entry is constant for the lifetime of the context, so the BAS
+    evaluation in the fixed point reduces to integer arithmetic over rows.
+    """
+    rows = ctx._bas_rows.get(task_i.priority)
+    if rows is None:
+        rows = tuple(
+            (
+                task_j,
+                int(task_j.period),
+                task_j.md,
+                task_j.md_r,
+                len(task_j.pcbs),
+                ctx.crpd.gamma(task_i, task_j),
+                ctx.cpro.eviction_count(task_j, task_i),
+            )
+            for task_j in ctx.taskset.hp_on_core(task_i, task_i.core)
+        )
+        ctx._bas_rows[task_i.priority] = rows
+    return rows
+
+
 def bas(ctx: AnalysisContext, task_i: Task, t: int) -> int:
     """Bus accesses from ``task_i``'s core that delay one job of ``task_i``.
 
@@ -64,23 +118,29 @@ def bas(ctx: AnalysisContext, task_i: Task, t: int) -> int:
     if t < 0:
         raise AnalysisError(f"window length must be non-negative, got {t}")
     multiset_crpd = ctx.crpd.approach is CrpdApproach.ECB_UNION_MULTISET
+    persistence = ctx.persistence
+    fast = ctx.fast_demand
     total = task_i.md
-    for task_j in ctx.taskset.hp_on_core(task_i, task_i.core):
-        n_jobs = jobs_in_window(t, int(task_j.period))
-        isolated = n_jobs * task_j.md
-        if ctx.persistence:
-            persistent = multi_job_demand(task_j, n_jobs) + ctx.cpro.rho_window(
-                task_j, task_i, n_jobs, t
-            )
-            demand = min(isolated, persistent)
+    for task_j, period, md, md_r, pcbs, gamma, evictable in _bas_rows(ctx, task_i):
+        n_jobs = -((-t) // period)
+        isolated = n_jobs * md
+        if persistence:
+            if fast:
+                # multi_job_demand + rho in closed form (Eq. 10 + Eq. 14).
+                persistent = min(isolated, n_jobs * md_r + pcbs)
+                if n_jobs > 1:
+                    persistent += (n_jobs - 1) * evictable
+            else:
+                persistent = multi_job_demand(task_j, n_jobs) + ctx.cpro.rho_window(
+                    task_j, task_i, n_jobs, t
+                )
+            demand = persistent if persistent < isolated else isolated
         else:
             demand = isolated
         if multiset_crpd:
-            crpd = ecb_union_multiset_window(
-                ctx.taskset, task_i, task_j, t, ctx.response_time
-            )
+            crpd = crpd_multiset_window(ctx, task_i, task_j, t)
         else:
-            crpd = n_jobs * ctx.crpd.gamma(task_i, task_j)
+            crpd = n_jobs * gamma
         total += demand + crpd
     return total
 
@@ -127,26 +187,92 @@ def carried_out_accesses(
     return min(_ceil_div(remainder, d_mem), demand)
 
 
-def _w(
+def _w_rows(ctx: AnalysisContext, task_k: Task, core_y: int, lower: bool) -> tuple:
+    """Prefetched static parameters of one remote-core :math:`W` sum.
+
+    One row per task ``task_l`` on ``core_y`` with priority at least
+    (``lower=False``) or below (``lower=True``) ``task_k``'s:
+    ``(task_l, gamma(k, l), period, md, md_r, |PCB|, evictable_pcbs(l, k),
+    md + gamma, isolated_wcrt)``.  The last entry is the estimate the outer
+    loop starts every task from, so the hot loop can resolve :math:`R_l`
+    with a plain dict probe.  Rows are pure functions of the task set, the
+    approach enums and ``d_mem``, so they are shared across contexts via
+    :meth:`~repro.model.task.TaskSet.derived`.
+    """
+    key = (core_y, task_k.priority, lower)
+    rows = ctx._w_rows.get(key)
+    if rows is None:
+        members = (
+            ctx.taskset.lp_on_core(task_k, core_y)
+            if lower
+            else ctx.taskset.hep_on_core(task_k, core_y)
+        )
+        d_mem = ctx.platform.d_mem
+        rows = tuple(
+            (
+                task_l,
+                gamma := ctx.crpd.gamma(task_k, task_l),
+                int(task_l.period),
+                task_l.md,
+                task_l.md_r,
+                len(task_l.pcbs),
+                ctx.cpro.eviction_count(task_l, task_k),
+                task_l.md + gamma,
+                int(task_l.pd + task_l.md * d_mem),
+            )
+            for task_l in members
+        )
+        ctx._w_rows[key] = rows
+    return rows
+
+
+def _w_sum(
     ctx: AnalysisContext,
     task_k: Task,
-    task_l: Task,
+    rows: tuple,
     t: int,
     persistence: bool,
 ) -> int:
-    """:math:`W` (Eq. 4) or :math:`\\hat{W}` (Eq. 18) plus carry-out (Eq. 5)."""
-    n_full = full_jobs_in_window(ctx, task_k, task_l, t)
-    gamma = ctx.crpd.gamma(task_k, task_l)
-    isolated = n_full * task_l.md
-    if persistence:
-        persistent = multi_job_demand(task_l, n_full) + ctx.cpro.rho_window(
-            task_l, task_k, n_full, t, carry_in=True
-        )
-        demand = min(isolated, persistent)
-    else:
-        demand = isolated
-    body = demand + n_full * gamma
-    return body + carried_out_accesses(ctx, task_k, task_l, t, n_full)
+    """Fused evaluation of :math:`\\sum_l W` over one remote core.
+
+    Each row is Eq. (4)/(18) plus carry-out (Eq. 5) — semantically
+    ``full_jobs_in_window`` + demand + ``carried_out_accesses`` — evaluated
+    in a single pass over the prefetched parameters of :func:`_w_rows`.
+    """
+    d_mem = ctx.platform.d_mem
+    fast = ctx.fast_demand
+    estimates = ctx.response_times
+    total = 0
+    for task_l, gamma, period_l, md_l, md_r_l, pcbs_l, evictable, job_demand, iso in rows:
+        r_l = estimates.get(task_l)
+        if r_l is None:
+            r_l = iso
+        numerator = t + r_l - job_demand * d_mem
+        if numerator < 0:
+            continue
+        n_full = numerator // period_l
+        isolated = n_full * md_l
+        if persistence:
+            if fast:
+                # multi_job_demand + rho in closed form (Eq. 10 + Eq. 14).
+                persistent = n_full * md_r_l + pcbs_l
+                if persistent > isolated:
+                    persistent = isolated
+                if n_full > 1:
+                    persistent += (n_full - 1) * evictable
+            else:
+                persistent = multi_job_demand(task_l, n_full) + ctx.cpro.rho_window(
+                    task_l, task_k, n_full, t, carry_in=True
+                )
+            demand = persistent if persistent < isolated else isolated
+        else:
+            demand = isolated
+        total += demand + n_full * gamma
+        remainder = numerator - n_full * period_l
+        if remainder > 0:
+            carry_out = -((-remainder) // d_mem)
+            total += carry_out if carry_out < job_demand else job_demand
+    return total
 
 
 def bao(ctx: AnalysisContext, core_y: int, task_k: Task, t: int) -> int:
@@ -154,14 +280,25 @@ def bao(ctx: AnalysisContext, core_y: int, task_k: Task, t: int) -> int:
 
     Total bus accesses generated in a window of length ``t`` by the tasks of
     core ``core_y`` whose priority is at least that of ``task_k``.
-    Persistence-aware (Lemma 2) when ``ctx.persistence`` is set.
+    Persistence-aware (Lemma 2) when ``ctx.persistence`` is set.  Memoized
+    per ``(core, priority, t)`` and the epoch of ``core_y`` — the sum only
+    reads estimates of tasks on that core.
     """
     if t < 0:
         raise AnalysisError(f"window length must be non-negative, got {t}")
-    return sum(
-        _w(ctx, task_k, task_l, t, ctx.persistence)
-        for task_l in ctx.taskset.hep_on_core(task_k, core_y)
-    )
+    rows = _w_rows(ctx, task_k, core_y, lower=False)
+    if not ctx.memoize:
+        return _w_sum(ctx, task_k, rows, t, ctx.persistence)
+    key = (core_y, task_k.priority, t)
+    epoch = ctx.core_epoch(core_y)
+    cached = ctx._bao_cache.get(key)
+    if cached is not None and cached[0] == epoch:
+        ctx.perf.bao_hits += 1
+        return cached[1]
+    ctx.perf.bao_misses += 1
+    value = _w_sum(ctx, task_k, rows, t, ctx.persistence)
+    ctx._bao_cache[key] = (epoch, value)
+    return value
 
 
 def bao_low(ctx: AnalysisContext, core_y: int, task_k: Task, t: int) -> int:
@@ -171,11 +308,21 @@ def bao_low(ctx: AnalysisContext, core_y: int, task_k: Task, t: int) -> int:
     higher-priority access.  The paper keeps this term persistence oblivious
     (plain :math:`W`); set ``ctx.persistence_in_low`` to apply the — equally
     sound, slightly tighter — persistence-aware :math:`\\hat{W}` instead.
+    Memoized like :func:`bao`.
     """
     if t < 0:
         raise AnalysisError(f"window length must be non-negative, got {t}")
     persistence = ctx.persistence and ctx.persistence_in_low
-    return sum(
-        _w(ctx, task_k, task_l, t, persistence)
-        for task_l in ctx.taskset.lp_on_core(task_k, core_y)
-    )
+    rows = _w_rows(ctx, task_k, core_y, lower=True)
+    if not ctx.memoize:
+        return _w_sum(ctx, task_k, rows, t, persistence)
+    key = (core_y, task_k.priority, t)
+    epoch = ctx.core_epoch(core_y)
+    cached = ctx._bao_low_cache.get(key)
+    if cached is not None and cached[0] == epoch:
+        ctx.perf.bao_low_hits += 1
+        return cached[1]
+    ctx.perf.bao_low_misses += 1
+    value = _w_sum(ctx, task_k, rows, t, persistence)
+    ctx._bao_low_cache[key] = (epoch, value)
+    return value

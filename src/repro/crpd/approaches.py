@@ -27,6 +27,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Dict, FrozenSet, Tuple
 
+from repro.crpd.multiset import multiset_pair_data, multiset_window_from_pairs
 from repro.model.task import Task, TaskSet
 
 
@@ -55,19 +56,17 @@ def crpd_ecb_union(taskset: TaskSet, task_i: Task, task_j: Task) -> int:
     ``aff(i, j)``).
     """
     core = task_j.core
-    affected = [t for t in taskset.aff(task_i, task_j) if t.core == core]
+    affected = taskset.aff_on_core(task_i, task_j, core)
     if not affected:
         return 0
-    evicting: FrozenSet[int] = frozenset().union(
-        *(t.ecbs for t in taskset.hep_on_core(task_j, core))
-    )
+    evicting: FrozenSet[int] = taskset.hep_ecb_union(task_j, core)
     return max(len(t.ucbs & evicting) for t in affected)
 
 
 def crpd_ucb_only(taskset: TaskSet, task_i: Task, task_j: Task) -> int:
     """UCB-only CRPD bound: the largest UCB set of any affected task."""
     core = task_j.core
-    affected = [t for t in taskset.aff(task_i, task_j) if t.core == core]
+    affected = taskset.aff_on_core(task_i, task_j, core)
     if not affected:
         return 0
     return max(len(t.ucbs) for t in affected)
@@ -81,7 +80,7 @@ def crpd_ecb_only(taskset: TaskSet, task_i: Task, task_j: Task) -> int:
     empty no preemption of interest exists and the bound is 0.
     """
     core = task_j.core
-    affected = [t for t in taskset.aff(task_i, task_j) if t.core == core]
+    affected = taskset.aff_on_core(task_i, task_j, core)
     if not affected:
         return 0
     return len(task_j.ecbs)
@@ -115,6 +114,21 @@ class CrpdCalculator:
         self._approach = approach
         self._fn = _APPROACHES[approach]
         self._cache: Dict[Tuple[int, int], int] = {}
+        self._multiset_cache: Dict[Tuple[int, int], Tuple[int, tuple]] = {}
+
+    @classmethod
+    def shared(
+        cls, taskset: TaskSet, approach: CrpdApproach = CrpdApproach.ECB_UNION
+    ) -> "CrpdCalculator":
+        """The task set's shared calculator for ``approach``.
+
+        CRPD values are pure functions of the (immutable) task set, so one
+        calculator per (task set, approach) pair serves every analysis run
+        and keeps its pair cache warm across them.
+        """
+        return taskset.derived(
+            ("crpd-calculator", approach), lambda: cls(taskset, approach)
+        )
 
     @property
     def approach(self) -> CrpdApproach:
@@ -133,3 +147,29 @@ class CrpdCalculator:
         if key not in self._cache:
             self._cache[key] = self._fn(self._taskset, task_i, task_j)
         return self._cache[key]
+
+    def multiset_window(
+        self,
+        task_i: Task,
+        task_j: Task,
+        window: int,
+        response_time_of: Callable[[Task], int],
+    ) -> int:
+        """Window-level multiset CRPD (see :mod:`repro.crpd.multiset`).
+
+        The static per-pair data (reload costs, periods) is extracted once
+        per (task_i, task_j) pair; only the window-dependent greedy sum runs
+        per call.
+        """
+        key = (task_i.priority, task_j.priority)
+        data = self._multiset_cache.get(key)
+        if data is None:
+            data = (
+                int(task_j.period),
+                multiset_pair_data(self._taskset, task_i, task_j),
+            )
+            self._multiset_cache[key] = data
+        period_j, entries = data
+        return multiset_window_from_pairs(
+            entries, period_j, window, response_time_of
+        )

@@ -30,13 +30,72 @@ construction has no published remote-window counterpart).
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, List
+from typing import Callable, Tuple
 
 from repro.model.task import Task, TaskSet
+
+#: Static per-pair multiset data: ``(cost, period_g, task_g)`` triples for
+#: every affected task with a nonzero reload cost, sorted by decreasing
+#: cost so the greedy take below needs no per-call sort.
+MultisetPairData = Tuple[Tuple[int, int, Task], ...]
 
 
 def _ceil_div(numerator: int, denominator: int) -> int:
     return -((-numerator) // denominator)
+
+
+def multiset_pair_data(
+    taskset: TaskSet, task_i: Task, task_j: Task
+) -> MultisetPairData:
+    """Window-independent part of the multiset bound for one task pair.
+
+    The per-affected-task reload cost :math:`c_g` and the periods entering
+    the multiplicities depend only on the (static) task set, so they are
+    extracted once per pair; :func:`multiset_window_from_pairs` then
+    evaluates the window-dependent greedy sum from them.
+    """
+    core = task_j.core
+    affected = taskset.aff_on_core(task_i, task_j, core)
+    if not affected:
+        return ()
+    evicting = taskset.hep_ecb_union(task_j, core)
+    entries = [
+        (cost, int(task_g.period), task_g)
+        for task_g in affected
+        if (cost := len(task_g.ucbs & evicting)) > 0
+    ]
+    entries.sort(key=lambda entry: entry[0], reverse=True)
+    return tuple(entries)
+
+
+def multiset_window_from_pairs(
+    entries: MultisetPairData,
+    period_j: int,
+    window: int,
+    response_time_of: Callable[[Task], int],
+) -> int:
+    """Greedy evaluation of the multiset bound from precomputed pair data.
+
+    Sums the :math:`E_j(t)` largest multiset elements: walk the per-task
+    costs in decreasing order, each available with multiplicity
+    :math:`E_j(R_g) \\cdot E_g(t)`, until the preemption budget is spent.
+    """
+    if window <= 0 or not entries:
+        return 0
+    remaining = _ceil_div(window, period_j)
+    total = 0
+    for cost, period_g, task_g in entries:
+        if remaining <= 0:
+            break
+        multiplicity = _ceil_div(window, period_g) * _ceil_div(
+            response_time_of(task_g), period_j
+        )
+        if multiplicity <= 0:
+            continue
+        take = min(remaining, multiplicity)
+        total += take * cost
+        remaining -= take
+    return total
 
 
 def ecb_union_multiset_window(
@@ -57,40 +116,9 @@ def ecb_union_multiset_window(
             estimates; monotonically refined exactly like Eq. 5/6 uses
             :math:`R_l`).
     """
-    if window <= 0:
-        return 0
-    core = task_j.core
-    affected = [t for t in taskset.aff(task_i, task_j) if t.core == core]
-    if not affected:
-        return 0
-    evicting: FrozenSet[int] = frozenset().union(
-        *(t.ecbs for t in taskset.hep_on_core(task_j, core))
+    return multiset_window_from_pairs(
+        multiset_pair_data(taskset, task_i, task_j),
+        int(task_j.period),
+        window,
+        response_time_of,
     )
-    preemptions_budget = _ceil_div(window, int(task_j.period))
-
-    # Gather per-affected-task (cost, multiplicity) pairs; summing the
-    # E_j(t) largest multiset elements then reduces to a greedy take from
-    # the pairs in decreasing cost order.
-    pairs: List[tuple] = []
-    for task_g in affected:
-        cost = len(task_g.ucbs & evicting)
-        if cost == 0:
-            continue
-        jobs_of_g = _ceil_div(window, int(task_g.period))
-        preemptions_per_job = _ceil_div(
-            response_time_of(task_g), int(task_j.period)
-        )
-        multiplicity = jobs_of_g * preemptions_per_job
-        if multiplicity > 0:
-            pairs.append((cost, multiplicity))
-    pairs.sort(reverse=True)
-
-    total = 0
-    remaining = preemptions_budget
-    for cost, multiplicity in pairs:
-        if remaining <= 0:
-            break
-        take = min(remaining, multiplicity)
-        total += take * cost
-        remaining -= take
-    return total

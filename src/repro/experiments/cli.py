@@ -18,11 +18,13 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.errors import AnalysisError
 from repro.experiments.config import settings_from_environment
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c, run_fig3d
 from repro.experiments.table1 import run_table1
+from repro.perf import global_counters, reset_global_counters
 
 _EXPERIMENTS = ("table1", "fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig3d")
 
@@ -54,7 +56,13 @@ def _parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=None,
-        help="worker processes (default: 1 or $REPRO_JOBS)",
+        help="worker processes; 0 = one per CPU (default: 1 or $REPRO_JOBS)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print analysis-kernel perf counters (iterations, memo hit "
+        "ratios, phase timings) after each experiment",
     )
     return parser
 
@@ -63,12 +71,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Run the requested experiments and print their reports."""
     args = _parser().parse_args(argv)
     chosen = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
-    overrides = {"seed": args.seed}
+    overrides = {"seed": args.seed, "profile": args.profile}
     if args.samples is not None:
         overrides["samples"] = args.samples
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
-    settings = settings_from_environment(**overrides)
+    try:
+        settings = settings_from_environment(**overrides)
+    except AnalysisError as error:
+        print(f"repro-experiments: error: {error}", file=sys.stderr)
+        return 2
 
     runners = {
         "table1": lambda: run_table1(),
@@ -80,10 +92,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig3d": lambda: run_fig3d(settings),
     }
     for name in chosen:
+        if settings.profile:
+            reset_global_counters()
         started = time.time()
         result = runners[name]()
         print(result.render())
         print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+        if settings.profile:
+            print(global_counters().render())
+            print()
     return 0
 
 

@@ -93,28 +93,60 @@ def default_platform() -> Platform:
 
 @dataclass(frozen=True)
 class SweepSettings:
-    """Sampling parameters shared by every experiment driver."""
+    """Sampling parameters shared by every experiment driver.
+
+    ``jobs = 0`` requests automatic parallelism: it is resolved to the
+    machine's CPU count at construction time, so every consumer sees the
+    concrete worker count.  Negative values are rejected.  ``profile``
+    asks the CLI to print the kernel's perf counters after each
+    experiment (see :mod:`repro.perf`).
+    """
 
     samples: int = DEFAULT_SAMPLES
     seed: int = 2020
     utilizations: Tuple[float, ...] = PAPER_UTILIZATIONS
     jobs: int = 1
     generation: GenerationConfig = field(default_factory=GenerationConfig)
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.samples <= 0:
             raise AnalysisError(f"samples must be positive, got {self.samples}")
-        if self.jobs <= 0:
-            raise AnalysisError(f"jobs must be positive, got {self.jobs}")
+        if self.jobs < 0:
+            raise AnalysisError(
+                f"jobs must be positive (or 0 for auto-detection), "
+                f"got {self.jobs}"
+            )
+        if self.jobs == 0:
+            # Frozen dataclass: resolve the auto value in place so the rest
+            # of the machinery never sees the 0 sentinel.
+            object.__setattr__(self, "jobs", os.cpu_count() or 1)
         if not self.utilizations:
             raise AnalysisError("at least one utilisation point is required")
 
 
+def _environment_int(name: str) -> int:
+    """Parse an integer environment override with a helpful error."""
+    raw = os.environ[name]
+    try:
+        return int(raw)
+    except ValueError:
+        raise AnalysisError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+
+
 def settings_from_environment(**overrides) -> SweepSettings:
-    """Build :class:`SweepSettings` honouring the environment overrides."""
+    """Build :class:`SweepSettings` honouring the environment overrides.
+
+    ``REPRO_SAMPLES`` and ``REPRO_JOBS`` apply when the corresponding
+    keyword is absent; ``REPRO_JOBS=0`` selects automatic parallelism
+    (one worker per CPU).  Non-integer values raise
+    :class:`~repro.errors.AnalysisError` naming the offending variable.
+    """
     kwargs = dict(overrides)
     if "samples" not in kwargs and SAMPLES_ENV_VAR in os.environ:
-        kwargs["samples"] = int(os.environ[SAMPLES_ENV_VAR])
+        kwargs["samples"] = _environment_int(SAMPLES_ENV_VAR)
     if "jobs" not in kwargs and JOBS_ENV_VAR in os.environ:
-        kwargs["jobs"] = int(os.environ[JOBS_ENV_VAR])
+        kwargs["jobs"] = _environment_int(JOBS_ENV_VAR)
     return SweepSettings(**kwargs)

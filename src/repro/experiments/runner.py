@@ -9,19 +9,29 @@ Determinism: the RNG seed of each sample is a pure function of the sweep
 seed, the point index and the sample index, so results are reproducible and
 independent of the degree of parallelism.  All variants see the *same*
 task sets, as in the paper.
+
+Parallelism: the sweep is flattened into individual ``(point, sample)``
+work items and dealt to worker processes in contiguous chunks.  Because
+each sample's seed is order-independent, any partitioning yields the same
+outcomes bit for bit; chunking merely balances load (a utilisation point
+near the schedulability cliff costs far more than a trivially feasible
+one, so per-*point* parallelism leaves workers idle).  Worker processes
+also return their :class:`repro.perf.PerfCounters`, which are merged into
+the parent's global counters so ``--profile`` sees the whole sweep.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.schedulability import is_schedulable
 from repro.analysis.weighted import weighted_schedulability
 from repro.experiments.config import SweepSettings, Variant
 from repro.generation.taskset_gen import GenerationConfig, generate_taskset
 from repro.model.platform import Platform
+from repro.perf import PerfCounters, merge_global
 
 import random
 
@@ -32,6 +42,10 @@ class SampleOutcome:
 
     weight: float
     verdicts: Tuple[bool, ...]
+
+
+#: One flattened work item: ``(utilization, sample_seed)``.
+_WorkItem = Tuple[float, int]
 
 
 def _sample_seed(seed: int, point_index: int, sample_index: int) -> int:
@@ -45,6 +59,7 @@ def evaluate_sample(
     variants: Sequence[Variant],
     generation: GenerationConfig,
     sample_seed: int,
+    perf: Optional[PerfCounters] = None,
 ) -> SampleOutcome:
     """Generate one task set and test it under every variant.
 
@@ -60,17 +75,40 @@ def evaluate_sample(
             taskset,
             base_platform.with_bus_policy(variant.policy),
             variant.analysis,
+            perf=perf,
         )
         for variant in variants
     )
     return SampleOutcome(weight=weight, verdicts=verdicts)
 
 
-def _point_task(args) -> List[SampleOutcome]:
-    base_platform, utilization, variants, generation, seeds = args
+def _chunk_task(args) -> Tuple[List[SampleOutcome], PerfCounters]:
+    """Evaluate one contiguous chunk of flattened work items.
+
+    Runs in a worker process (or inline when ``jobs == 1``).  Returns the
+    outcomes in item order plus the perf counters accumulated over the
+    chunk, so the parent can merge them into its global counters.
+    """
+    base_platform, variants, generation, items = args
+    perf = PerfCounters()
+    outcomes = [
+        evaluate_sample(base_platform, utilization, variants, generation, seed, perf)
+        for utilization, seed in items
+    ]
+    return outcomes, perf
+
+
+def _chunked(items: Sequence[_WorkItem], jobs: int) -> List[Tuple[_WorkItem, ...]]:
+    """Split the flat item list into contiguous, load-balancing chunks.
+
+    A few chunks per worker smooths out the cost imbalance between easy
+    and hard samples without drowning the pool in per-item dispatch
+    overhead.
+    """
+    chunk_size = max(1, -(-len(items) // (jobs * 4)))
     return [
-        evaluate_sample(base_platform, utilization, variants, generation, s)
-        for s in seeds
+        tuple(items[start : start + chunk_size])
+        for start in range(0, len(items), chunk_size)
     ]
 
 
@@ -82,12 +120,15 @@ def run_point(
     point_index: int,
 ) -> List[SampleOutcome]:
     """All sample outcomes for one (platform, utilisation) point."""
-    seeds = [
-        _sample_seed(settings.seed, point_index, i) for i in range(settings.samples)
+    items = [
+        (utilization, _sample_seed(settings.seed, point_index, i))
+        for i in range(settings.samples)
     ]
-    return _point_task(
-        (base_platform, utilization, tuple(variants), settings.generation, seeds)
+    outcomes, perf = _chunk_task(
+        (base_platform, tuple(variants), settings.generation, items)
     )
+    merge_global(perf)
+    return outcomes
 
 
 def run_curve(
@@ -100,27 +141,37 @@ def run_curve(
 
     ``point_offset`` decorrelates the RNG streams of different parameter
     values in multi-parameter sweeps.  With ``settings.jobs > 1`` the
-    utilisation points are evaluated in parallel worker processes.
+    flattened ``(point, sample)`` items are evaluated in parallel worker
+    processes; results are bit-identical to the sequential run because the
+    per-sample seeds do not depend on execution order.
     """
-    points = [
-        (
-            base_platform,
-            utilization,
-            tuple(variants),
-            settings.generation,
-            [
-                _sample_seed(settings.seed, point_offset + index, i)
-                for i in range(settings.samples)
-            ],
-        )
+    items: List[_WorkItem] = [
+        (utilization, _sample_seed(settings.seed, point_offset + index, i))
         for index, utilization in enumerate(settings.utilizations)
+        for i in range(settings.samples)
     ]
+    variants = tuple(variants)
     if settings.jobs > 1:
+        chunks = _chunked(items, settings.jobs)
+        tasks = [
+            (base_platform, variants, settings.generation, chunk)
+            for chunk in chunks
+        ]
         with ProcessPoolExecutor(max_workers=settings.jobs) as pool:
-            results = list(pool.map(_point_task, points))
+            flat: List[SampleOutcome] = []
+            for outcomes, perf in pool.map(_chunk_task, tasks):
+                flat.extend(outcomes)
+                merge_global(perf)
     else:
-        results = [_point_task(point) for point in points]
-    return dict(zip(settings.utilizations, results))
+        flat, perf = _chunk_task(
+            (base_platform, variants, settings.generation, items)
+        )
+        merge_global(perf)
+    results: Dict[float, List[SampleOutcome]] = {}
+    for index, utilization in enumerate(settings.utilizations):
+        start = index * settings.samples
+        results[utilization] = flat[start : start + settings.samples]
+    return results
 
 
 def schedulability_ratios(

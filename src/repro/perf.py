@@ -1,0 +1,143 @@
+"""Lightweight performance counters for the analysis kernel.
+
+The WCRT analysis is the hot path of every experiment sweep; this module
+gives it observable internals so performance work can be measured instead
+of guessed.  :class:`PerfCounters` tracks
+
+* how hard the fixed point worked (``analyses``, ``outer_iterations``,
+  ``inner_iterations``),
+* how well the epoch-keyed memoization performed (per-term cache hits and
+  misses for the ``bao`` / ``bao_low`` / multiset-CRPD window terms; the
+  per-pair :math:`W` terms are fused into the ``bao`` sums), and
+* per-phase wall-clock time (task-set ``generation`` vs ``analysis``).
+
+Counters are plain integers so the bookkeeping stays cheap enough to leave
+enabled unconditionally inside the kernel.  Worker processes of a parallel
+sweep each accumulate their own :class:`PerfCounters` and the parent
+process :meth:`~PerfCounters.merge`\\ s them; the CLI's ``--profile`` flag
+aggregates into the module-level :func:`global_counters` and renders a
+report after each experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+from typing import ClassVar, Dict, Iterator, Optional, Tuple
+
+
+@dataclass
+class PerfCounters:
+    """Counters describing one or more :func:`analyze_taskset` runs."""
+
+    analyses: int = 0
+    outer_iterations: int = 0
+    inner_iterations: int = 0
+    bao_hits: int = 0
+    bao_misses: int = 0
+    bao_low_hits: int = 0
+    bao_low_misses: int = 0
+    crpd_window_hits: int = 0
+    crpd_window_misses: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    _INT_FIELDS: ClassVar[Tuple[str, ...]] = ()  # filled in after the class body
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def memo_hits(self) -> int:
+        """Total cache hits across every memoized interference term."""
+        return self.bao_hits + self.bao_low_hits + self.crpd_window_hits
+
+    @property
+    def memo_misses(self) -> int:
+        """Total cache misses across every memoized interference term."""
+        return self.bao_misses + self.bao_low_misses + self.crpd_window_misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of memoized-term lookups served from cache (0 if none)."""
+        lookups = self.memo_hits + self.memo_misses
+        return self.memo_hits / lookups if lookups else 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter and drop the recorded phase timings."""
+        for name in self._INT_FIELDS:
+            setattr(self, name, 0)
+        self.phase_seconds.clear()
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Accumulate ``other``'s counters into this instance."""
+        for name in self._INT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for phase, seconds in other.phase_seconds.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of the enclosed block into ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    # -- reporting ----------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable profile report (the CLI's ``--profile`` output)."""
+        lines = ["Performance profile:"]
+        lines.append(
+            f"  analyses          {self.analyses:>12d}   "
+            f"outer iterations {self.outer_iterations:>10d}   "
+            f"inner iterations {self.inner_iterations:>10d}"
+        )
+        terms = (
+            ("bao", self.bao_hits, self.bao_misses),
+            ("bao_low", self.bao_low_hits, self.bao_low_misses),
+            ("crpd-window", self.crpd_window_hits, self.crpd_window_misses),
+        )
+        for label, hits, misses in terms:
+            lookups = hits + misses
+            ratio = hits / lookups if lookups else 0.0
+            lines.append(
+                f"  memo {label:<12} hits {hits:>10d}   misses {misses:>10d}   "
+                f"hit ratio {100 * ratio:5.1f}%"
+            )
+        lines.append(
+            f"  memo total        hits {self.memo_hits:>10d}   "
+            f"misses {self.memo_misses:>10d}   "
+            f"hit ratio {100 * self.hit_ratio:5.1f}%"
+        )
+        for phase in sorted(self.phase_seconds):
+            lines.append(f"  phase {phase:<12} {self.phase_seconds[phase]:10.3f} s")
+        return "\n".join(lines)
+
+
+PerfCounters._INT_FIELDS = tuple(
+    f.name for f in fields(PerfCounters) if f.type == "int"
+)
+
+
+_GLOBAL = PerfCounters()
+
+
+def global_counters() -> PerfCounters:
+    """Process-wide aggregate used by the CLI's ``--profile`` reporting."""
+    return _GLOBAL
+
+
+def reset_global_counters() -> None:
+    """Zero the process-wide aggregate (called before each experiment)."""
+    _GLOBAL.reset()
+
+
+def merge_global(counters: Optional[PerfCounters]) -> None:
+    """Merge ``counters`` (if any) into the process-wide aggregate."""
+    if counters is not None:
+        _GLOBAL.merge(counters)

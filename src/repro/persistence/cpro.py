@@ -26,7 +26,7 @@ coarser, but independent of the task under analysis.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.model.task import Task, TaskSet
@@ -127,12 +127,21 @@ _APPROACHES: Dict[CproApproach, Callable[[TaskSet, Task, Task], int]] = {
 }
 
 
+#: Per-(task_j, task_i) overlap table for the multiset CPRO bound: one
+#: entry per PCB of ``task_j`` that at least one relevant evictor overlaps,
+#: holding the periods of those evictors.  PCBs nobody can evict contribute
+#: zero reloads and are dropped.
+_OverlapTable = Tuple[Tuple[int, ...], ...]
+
+
 class CproCalculator:
     """Memoising front-end over the CPRO approaches.
 
     Only the per-window-per-task eviction *count* is cached; the job count
     multiplier of Eq. (14) varies with the window length and is applied in
-    :meth:`rho`.
+    :meth:`rho`.  For the ``MULTISET`` approach the per-PCB evictor-overlap
+    scan is additionally precomputed into a per-pair table, so the per-call
+    work of :meth:`rho_window` is a pure arithmetic fold.
     """
 
     def __init__(
@@ -142,6 +151,21 @@ class CproCalculator:
         self._approach = approach
         self._fn = _APPROACHES[approach]
         self._cache: Dict[Tuple[int, int], int] = {}
+        self._overlap_cache: Dict[Tuple[int, int], Optional[_OverlapTable]] = {}
+
+    @classmethod
+    def shared(
+        cls, taskset: TaskSet, approach: CproApproach = CproApproach.UNION
+    ) -> "CproCalculator":
+        """The task set's shared calculator for ``approach``.
+
+        CPRO eviction counts are pure functions of the (immutable) task
+        set, so one calculator per (task set, approach) pair serves every
+        analysis run and keeps its pair cache warm across them.
+        """
+        return taskset.derived(
+            ("cpro-calculator", approach), lambda: cls(taskset, approach)
+        )
 
     @property
     def approach(self) -> CproApproach:
@@ -167,6 +191,33 @@ class CproCalculator:
             return 0
         return (n_jobs - 1) * self.eviction_count(task_j, task_i)
 
+    def _overlap_table(self, task_j: Task, task_i: Task) -> Optional[_OverlapTable]:
+        """Precomputed evictor-period table behind the multiset bound."""
+        key = (task_j.priority, task_i.priority)
+        if key in self._overlap_cache:
+            return self._overlap_cache[key]
+        core = task_j.core
+        others = [
+            t for t in self._taskset.hep_on_core(task_i, core) if t is not task_j
+        ]
+        table: Optional[_OverlapTable]
+        if not others:
+            table = None
+        else:
+            table = tuple(
+                periods
+                for pcb in task_j.pcbs
+                if (
+                    periods := tuple(
+                        int(evictor.period)
+                        for evictor in others
+                        if pcb in evictor.ecbs
+                    )
+                )
+            )
+        self._overlap_cache[key] = table
+        return table
+
     def rho_window(
         self,
         task_j: Task,
@@ -177,15 +228,25 @@ class CproCalculator:
     ) -> int:
         """Window-aware CPRO bound.
 
-        Dispatches to :func:`cpro_multiset_window` for the ``MULTISET``
-        approach and to the window-oblivious :meth:`rho` otherwise.  The
+        Evaluates the multiset bound of :func:`cpro_multiset_window` (from
+        the precomputed per-pair overlap table) for the ``MULTISET``
+        approach and the window-oblivious :meth:`rho` otherwise.  The
         multiset value never exceeds the union value.
         """
-        if self._approach is CproApproach.MULTISET:
-            return min(
-                cpro_multiset_window(
-                    self._taskset, task_j, task_i, n_jobs, window, carry_in
-                ),
-                self.rho(task_j, task_i, n_jobs),
-            )
-        return self.rho(task_j, task_i, n_jobs)
+        if self._approach is not CproApproach.MULTISET:
+            return self.rho(task_j, task_i, n_jobs)
+        cap = self.rho(task_j, task_i, n_jobs)
+        if cap == 0 or n_jobs <= 1 or window <= 0:
+            return 0
+        table = self._overlap_table(task_j, task_i)
+        if table is None:
+            return 0
+        extra = 1 if carry_in else 0
+        per_boundary = n_jobs - 1
+        total = 0
+        for periods in table:
+            opportunities = 0
+            for period in periods:
+                opportunities += -((-window) // period) + extra
+            total += min(per_boundary, opportunities)
+        return min(total, cap)

@@ -47,3 +47,21 @@ class TestCli:
         monkeypatch.setenv("REPRO_SAMPLES", "2")
         assert main(["fig2"]) == 0
         assert "Fig. 2a" in capsys.readouterr().out
+
+    def test_invalid_jobs_reports_clean_error(self, capsys):
+        assert main(["fig2", "--samples", "2", "--jobs", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-experiments: error:" in err
+        assert "jobs" in err
+
+    def test_garbage_jobs_env_reports_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert main(["fig2", "--samples", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_JOBS" in err and "many" in err
+
+    def test_profile_flag_prints_counters(self, capsys):
+        assert main(["fig2", "--samples", "2", "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "Performance profile:" in output
+        assert "inner iterations" in output

@@ -1,0 +1,97 @@
+"""Differential correctness test of the memoized analysis kernel.
+
+The epoch-keyed memoization of the interference terms (see
+:class:`repro.businterference.context.AnalysisContext`) must be an
+invisible optimisation: for every task set, platform and approach
+combination the memoized kernel has to return results identical to the
+un-memoized reference path (``AnalysisConfig(memoization=False)``) — same
+verdict, same per-task response times, same iteration counts.  This file
+pins that down over a broad randomized sample.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.wcrt import analyze_taskset
+from repro.crpd.approaches import CrpdApproach
+from repro.experiments.config import default_platform
+from repro.generation.taskset_gen import generate_taskset
+from repro.model.platform import BusPolicy
+from repro.persistence.cpro import CproApproach
+
+#: Seeds x utilisations: 60 distinct random task sets, spanning trivially
+#: schedulable, borderline and hopeless regions of the sweep.
+SAMPLE_GRID = tuple(
+    (seed, utilization)
+    for seed in range(12)
+    for utilization in (0.15, 0.35, 0.5, 0.65, 0.85)
+)
+
+
+def _compare(taskset, platform, config):
+    memoized = analyze_taskset(taskset, platform, config)
+    reference = analyze_taskset(
+        taskset, platform, replace(config, memoization=False)
+    )
+    # WcrtResult equality covers verdict, per-task response times, failing
+    # task and outer iteration count (perf counters are excluded).
+    assert memoized == reference
+    return memoized
+
+
+class TestMemoizationIsInvisible:
+    @pytest.mark.parametrize("seed,utilization", SAMPLE_GRID)
+    def test_default_analysis_identical(self, seed, utilization):
+        base = default_platform()
+        taskset = generate_taskset(random.Random(seed), base, utilization)
+        for policy in BusPolicy:
+            _compare(taskset, base.with_bus_policy(policy), AnalysisConfig())
+
+    @pytest.mark.parametrize("crpd", list(CrpdApproach))
+    @pytest.mark.parametrize("cpro", list(CproApproach))
+    def test_every_crpd_cpro_combination_identical(self, crpd, cpro):
+        base = default_platform()
+        config = AnalysisConfig(crpd_approach=crpd, cpro_approach=cpro)
+        for seed in range(4):
+            taskset = generate_taskset(
+                random.Random(100 + seed), base, 0.4 + 0.1 * seed
+            )
+            for policy in (BusPolicy.FP, BusPolicy.RR):
+                _compare(taskset, base.with_bus_policy(policy), config)
+
+    @pytest.mark.parametrize("policy", list(BusPolicy))
+    def test_baseline_analysis_identical(self, policy):
+        base = default_platform()
+        config = AnalysisConfig(persistence=False)
+        for seed in range(8):
+            taskset = generate_taskset(
+                random.Random(200 + seed), base, 0.3 + 0.08 * seed
+            )
+            _compare(taskset, base.with_bus_policy(policy), config)
+
+    def test_persistence_in_low_identical(self):
+        base = default_platform()
+        config = AnalysisConfig(persistence_in_low=True)
+        for seed in range(6):
+            taskset = generate_taskset(
+                random.Random(300 + seed), base, 0.35 + 0.1 * seed
+            )
+            _compare(taskset, base.with_bus_policy(BusPolicy.FP), config)
+
+    def test_reanalysis_of_same_taskset_is_stable(self):
+        # Shared derived tables must not leak state between configurations
+        # analysing the same task set object.
+        base = default_platform()
+        taskset = generate_taskset(random.Random(42), base, 0.5)
+        first = [
+            _compare(taskset, base.with_bus_policy(policy), AnalysisConfig())
+            for policy in BusPolicy
+        ]
+        second = [
+            _compare(taskset, base.with_bus_policy(policy), AnalysisConfig())
+            for policy in BusPolicy
+        ]
+        assert first == second

@@ -50,9 +50,14 @@ class TestConfig:
         with pytest.raises(AnalysisError):
             SweepSettings(samples=0)
         with pytest.raises(AnalysisError):
-            SweepSettings(jobs=0)
+            SweepSettings(jobs=-1)
         with pytest.raises(AnalysisError):
             SweepSettings(utilizations=())
+
+    def test_jobs_zero_resolves_to_cpu_count(self):
+        import os
+
+        assert SweepSettings(jobs=0).jobs == (os.cpu_count() or 1)
 
     def test_environment_overrides(self, monkeypatch):
         monkeypatch.setenv("REPRO_SAMPLES", "17")
@@ -60,6 +65,17 @@ class TestConfig:
         settings = settings_from_environment()
         assert settings.samples == 17
         assert settings.jobs == 3
+
+    def test_environment_jobs_auto(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert settings_from_environment().jobs == (os.cpu_count() or 1)
+
+    def test_environment_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(AnalysisError, match="REPRO_JOBS"):
+            settings_from_environment()
 
     def test_explicit_overrides_beat_environment(self, monkeypatch):
         monkeypatch.setenv("REPRO_SAMPLES", "17")

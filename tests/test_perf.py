@@ -1,0 +1,118 @@
+"""Tests of the :mod:`repro.perf` counters and their kernel integration."""
+
+import random
+from dataclasses import replace
+
+from repro.analysis.config import PERSISTENCE_AWARE
+from repro.analysis.wcrt import analyze_taskset
+from repro.experiments.config import default_platform
+from repro.generation.taskset_gen import generate_taskset
+from repro.perf import (
+    PerfCounters,
+    global_counters,
+    merge_global,
+    reset_global_counters,
+)
+
+
+def _taskset(seed=1, utilization=0.4):
+    platform = default_platform()
+    return generate_taskset(random.Random(seed), platform, utilization), platform
+
+
+class TestPerfCounters:
+    def test_fresh_counters_are_zero(self):
+        counters = PerfCounters()
+        assert counters.analyses == 0
+        assert counters.memo_hits == 0
+        assert counters.memo_misses == 0
+        assert counters.hit_ratio == 0.0
+        assert counters.phase_seconds == {}
+
+    def test_merge_accumulates(self):
+        a = PerfCounters(analyses=1, bao_hits=3, bao_misses=2)
+        a.phase_seconds["analysis"] = 0.5
+        b = PerfCounters(analyses=2, bao_hits=1, inner_iterations=7)
+        b.phase_seconds["analysis"] = 0.25
+        b.phase_seconds["generation"] = 0.1
+        a.merge(b)
+        assert a.analyses == 3
+        assert a.bao_hits == 4
+        assert a.bao_misses == 2
+        assert a.inner_iterations == 7
+        assert a.phase_seconds["analysis"] == 0.75
+        assert a.phase_seconds["generation"] == 0.1
+
+    def test_reset_zeroes_everything(self):
+        counters = PerfCounters(analyses=5, bao_hits=2, outer_iterations=9)
+        counters.phase_seconds["analysis"] = 1.0
+        counters.reset()
+        assert counters == PerfCounters()
+
+    def test_phase_records_elapsed_time(self):
+        counters = PerfCounters()
+        with counters.phase("busy"):
+            pass
+        with counters.phase("busy"):
+            pass
+        assert counters.phase_seconds["busy"] >= 0.0
+        assert set(counters.phase_seconds) == {"busy"}
+
+    def test_render_mentions_all_sections(self):
+        counters = PerfCounters(analyses=1, bao_hits=10, bao_misses=30)
+        counters.phase_seconds["analysis"] = 0.125
+        text = counters.render()
+        assert "analyses" in text
+        assert "bao" in text and "crpd-window" in text
+        assert "25.0%" in text  # 10 hits / 40 lookups
+        assert "analysis" in text
+
+
+class TestKernelIntegration:
+    def test_converged_analysis_reports_memo_hits(self):
+        taskset, platform = _taskset()
+        result = analyze_taskset(taskset, platform, PERSISTENCE_AWARE)
+        perf = result.perf
+        assert perf is not None
+        assert perf.analyses == 1
+        assert perf.outer_iterations == result.outer_iterations
+        assert perf.inner_iterations > 0
+        # The outer loop replays converged windows, so the epoch-keyed
+        # caches must see some reuse.
+        assert perf.memo_hits > 0
+        assert perf.phase_seconds.get("analysis", 0.0) > 0.0
+
+    def test_disabled_memoization_reports_zero_hits(self):
+        taskset, platform = _taskset()
+        reference = replace(PERSISTENCE_AWARE, memoization=False)
+        perf = analyze_taskset(taskset, platform, reference).perf
+        assert perf.memo_hits == 0
+        assert perf.memo_misses == 0
+        assert perf.inner_iterations > 0
+
+    def test_counters_reset_between_analyses(self):
+        taskset, platform = _taskset()
+        first = analyze_taskset(taskset, platform, PERSISTENCE_AWARE).perf
+        second = analyze_taskset(taskset, platform, PERSISTENCE_AWARE).perf
+        # Each analysis collects a fresh counter set, not a running total.
+        assert second.analyses == 1
+        assert second is not first
+
+    def test_caller_aggregate_accumulates_across_analyses(self):
+        taskset, platform = _taskset()
+        aggregate = PerfCounters()
+        analyze_taskset(taskset, platform, PERSISTENCE_AWARE, perf=aggregate)
+        analyze_taskset(taskset, platform, PERSISTENCE_AWARE, perf=aggregate)
+        assert aggregate.analyses == 2
+        assert aggregate.inner_iterations > 0
+
+
+class TestGlobalCounters:
+    def test_merge_global_and_reset(self):
+        reset_global_counters()
+        merge_global(PerfCounters(analyses=4, bao_hits=1))
+        merge_global(None)  # no-op
+        assert global_counters().analyses == 4
+        assert global_counters().bao_hits == 1
+        reset_global_counters()
+        assert global_counters().analyses == 0
