@@ -58,3 +58,14 @@ def test_bench_simulator(benchmark):
 
     result = benchmark(simulate, workload, platform, duration)
     assert result.stats
+
+
+def test_bench_verify_fuzz(benchmark):
+    """Fuzz-campaign throughput: a fixed seeded batch across all case
+    kinds and every oracle (tracked as scenarios-per-second via the
+    benchmark's ops/s column)."""
+    from repro.verify import fuzz
+
+    report = benchmark(fuzz, max_cases=8, seed=2020)
+    assert report.passed
+    assert report.cases == 8

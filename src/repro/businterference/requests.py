@@ -34,7 +34,7 @@ from repro.businterference.context import AnalysisContext
 from repro.crpd.approaches import CrpdApproach
 from repro.errors import AnalysisError
 from repro.model.task import Task
-from repro.persistence.demand import multi_job_demand
+from repro.persistence.demand import FAULTS, multi_job_demand
 
 
 def _ceil_div(numerator: int, denominator: int) -> int:
@@ -120,6 +120,7 @@ def bas(ctx: AnalysisContext, task_i: Task, t: int) -> int:
     multiset_crpd = ctx.crpd.approach is CrpdApproach.ECB_UNION_MULTISET
     persistence = ctx.persistence
     fast = ctx.fast_demand
+    drop_pcb = FAULTS.drop_pcb_term
     total = task_i.md
     for task_j, period, md, md_r, pcbs, gamma, evictable in _bas_rows(ctx, task_i):
         n_jobs = -((-t) // period)
@@ -127,7 +128,9 @@ def bas(ctx: AnalysisContext, task_i: Task, t: int) -> int:
         if persistence:
             if fast:
                 # multi_job_demand + rho in closed form (Eq. 10 + Eq. 14).
-                persistent = min(isolated, n_jobs * md_r + pcbs)
+                persistent = min(
+                    isolated, n_jobs * md_r + (0 if drop_pcb else pcbs)
+                )
                 if n_jobs > 1:
                     persistent += (n_jobs - 1) * evictable
             else:
@@ -241,6 +244,7 @@ def _w_sum(
     """
     d_mem = ctx.platform.d_mem
     fast = ctx.fast_demand
+    drop_pcb = FAULTS.drop_pcb_term
     estimates = ctx.response_times
     total = 0
     for task_l, gamma, period_l, md_l, md_r_l, pcbs_l, evictable, job_demand, iso in rows:
@@ -255,7 +259,7 @@ def _w_sum(
         if persistence:
             if fast:
                 # multi_job_demand + rho in closed form (Eq. 10 + Eq. 14).
-                persistent = n_full * md_r_l + pcbs_l
+                persistent = n_full * md_r_l + (0 if drop_pcb else pcbs_l)
                 if persistent > isolated:
                     persistent = isolated
                 if n_full > 1:

@@ -40,7 +40,13 @@ class PerfCounters:
     bao_low_misses: int = 0
     crpd_window_hits: int = 0
     crpd_window_misses: int = 0
+    verify_cases: int = 0
+    verify_shrink_steps: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Per-oracle evaluation counts of the soundness fuzzer (repro.verify).
+    oracle_checks: Dict[str, int] = field(default_factory=dict)
+    #: Per-oracle violation counts (non-empty only when a bug was found).
+    oracle_violations: Dict[str, int] = field(default_factory=dict)
 
     _INT_FIELDS: ClassVar[Tuple[str, ...]] = ()  # filled in after the class body
 
@@ -69,6 +75,8 @@ class PerfCounters:
         for name in self._INT_FIELDS:
             setattr(self, name, 0)
         self.phase_seconds.clear()
+        self.oracle_checks.clear()
+        self.oracle_violations.clear()
 
     def merge(self, other: "PerfCounters") -> None:
         """Accumulate ``other``'s counters into this instance."""
@@ -76,6 +84,10 @@ class PerfCounters:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         for phase, seconds in other.phase_seconds.items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        for mapping in ("oracle_checks", "oracle_violations"):
+            mine = getattr(self, mapping)
+            for oracle, count in getattr(other, mapping).items():
+                mine[oracle] = mine.get(oracle, 0) + count
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -114,6 +126,17 @@ class PerfCounters:
             f"misses {self.memo_misses:>10d}   "
             f"hit ratio {100 * self.hit_ratio:5.1f}%"
         )
+        if self.verify_cases:
+            lines.append(
+                f"  verify cases      {self.verify_cases:>12d}   "
+                f"shrink steps     {self.verify_shrink_steps:>10d}"
+            )
+        for oracle in sorted(self.oracle_checks):
+            violations = self.oracle_violations.get(oracle, 0)
+            lines.append(
+                f"  oracle {oracle:<20} checks {self.oracle_checks[oracle]:>8d}   "
+                f"violations {violations:>6d}"
+            )
         for phase in sorted(self.phase_seconds):
             lines.append(f"  phase {phase:<12} {self.phase_seconds[phase]:10.3f} s")
         return "\n".join(lines)

@@ -17,8 +17,33 @@ every PCB.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.errors import AnalysisError
 from repro.model.task import Task
+
+
+@dataclass
+class FaultHooks:
+    """Test-only unsoundness injection points.
+
+    The soundness fuzzer (:mod:`repro.verify`) must be able to prove it
+    would catch a real analysis bug.  These flags let a test deliberately
+    break a bound; they are consulted by :func:`multi_job_demand` and by
+    the fused fast paths of :mod:`repro.businterference.requests`, and must
+    never be set outside :func:`repro.verify.faults.inject_fault`.
+
+    Attributes:
+        drop_pcb_term: drop the ``|PCB|`` cold-load term from Eq. 10,
+            turning the persistence-aware multi-job demand into the
+            unsound ``n * MDr``.
+    """
+
+    drop_pcb_term: bool = False
+
+
+#: Process-global fault state (all flags off in normal operation).
+FAULTS = FaultHooks()
 
 
 def multi_job_demand(task: Task, n_jobs: int) -> int:
@@ -31,4 +56,5 @@ def multi_job_demand(task: Task, n_jobs: int) -> int:
         raise AnalysisError(f"n_jobs must be non-negative, got {n_jobs}")
     if n_jobs == 0:
         return 0
-    return min(n_jobs * task.md, n_jobs * task.md_r + len(task.pcbs))
+    pcb_term = 0 if FAULTS.drop_pcb_term else len(task.pcbs)
+    return min(n_jobs * task.md, n_jobs * task.md_r + pcb_term)

@@ -32,6 +32,7 @@ from repro.model.task import Task, TaskSet
 FORMAT_VERSION = 1
 
 _TASKSET_TAG = "repro-taskset"
+_WCRT_TAG = "repro-wcrt-result"
 
 PathLike = Union[str, Path]
 
@@ -136,6 +137,58 @@ def taskset_from_json(text: str) -> Tuple[TaskSet, Platform]:
     platform = platform_from_dict(document.get("platform", {}))
     tasks = [task_from_dict(record) for record in document.get("tasks", [])]
     return TaskSet(tasks), platform
+
+
+def wcrt_result_to_dict(result) -> Dict:
+    """Plain-dict form of a :class:`~repro.analysis.wcrt.WcrtResult`.
+
+    Tasks are referenced by name (unique within any serialised task set);
+    perf counters are deliberately not archived — they describe a run, not
+    a result.
+    """
+    return {
+        "format": _WCRT_TAG,
+        "version": FORMAT_VERSION,
+        "schedulable": result.schedulable,
+        "outer_iterations": result.outer_iterations,
+        "failed_task": result.failed_task.name if result.failed_task else None,
+        "response_times": {
+            task.name: bound for task, bound in result.response_times.items()
+        },
+    }
+
+
+def wcrt_result_to_json(result) -> str:
+    """Canonical JSON form of a WCRT result.
+
+    Keys are sorted, so the bytes are a pure function of the result —
+    independent of dict insertion order, Python version, or the task
+    iteration order of the analysis.
+    """
+    return json.dumps(wcrt_result_to_dict(result), indent=2, sort_keys=True)
+
+
+def wcrt_result_from_json(text: str) -> Dict:
+    """Parse a serialised WCRT result back into its plain-dict form.
+
+    Task objects cannot be reconstructed from a result alone (it stores
+    names, not parameters), so the dict form is the archival surface:
+    ``response_times`` maps task names to bounds.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ModelError(f"not valid JSON: {error}") from error
+    if document.get("format") != _WCRT_TAG:
+        raise ModelError(
+            f"unexpected format tag {document.get('format')!r}; "
+            f"expected {_WCRT_TAG!r}"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported format version {document.get('version')!r}"
+        )
+    return document
 
 
 def save_taskset(

@@ -1,0 +1,7 @@
+"""``python -m repro.verify`` — forwards to the CLI."""
+
+import sys
+
+from repro.verify.cli import main
+
+sys.exit(main())

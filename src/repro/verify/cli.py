@@ -1,0 +1,197 @@
+"""Command-line entry point: ``repro-verify`` / ``python -m repro.verify``.
+
+Two subcommands::
+
+    repro-verify fuzz   --budget 60s --seed 0 --policies fp,rr,tdma
+    repro-verify replay --corpus tests/corpus
+
+``fuzz`` runs a soundness-fuzzing campaign (optionally writing shrunk
+reproducers into a corpus directory); ``replay`` re-checks every corpus
+entry and fails on any regression.  Both exit non-zero on violations, so
+they slot directly into CI gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import AnalysisError, ModelError
+from repro.model.platform import BusPolicy
+from repro.perf import global_counters, reset_global_counters
+from repro.verify.cases import CASE_KINDS
+from repro.verify.corpus import DEFAULT_CORPUS, replay_corpus
+from repro.verify.engine import fuzz
+from repro.verify.faults import fault_names, inject_fault
+
+_BUDGET_PATTERN = re.compile(r"^(\d+(?:\.\d+)?)(s|m)?$")
+
+
+def parse_budget(text: str) -> float:
+    """Parse ``"30"``, ``"45s"`` or ``"2m"`` into seconds."""
+    match = _BUDGET_PATTERN.match(text.strip())
+    if not match:
+        raise AnalysisError(
+            f"malformed budget {text!r}; expected e.g. '30', '45s' or '2m'"
+        )
+    value = float(match.group(1))
+    if match.group(2) == "m":
+        value *= 60.0
+    if value <= 0:
+        raise AnalysisError(f"budget must be positive, got {text!r}")
+    return value
+
+
+def _parse_policies(text: str) -> List[BusPolicy]:
+    policies = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            policies.append(BusPolicy(token))
+        except ValueError:
+            known = ", ".join(policy.value for policy in BusPolicy)
+            raise AnalysisError(
+                f"unknown bus policy {token!r}; known: {known}"
+            ) from None
+    if not policies:
+        raise AnalysisError("at least one bus policy is required")
+    return policies
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Soundness fuzzing and metamorphic verification of the "
+        "cache-persistence-aware bus contention analysis.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fuzz_cmd = commands.add_parser(
+        "fuzz", help="run a randomised soundness-fuzzing campaign"
+    )
+    fuzz_cmd.add_argument(
+        "--budget",
+        default=None,
+        help="wall-clock budget, e.g. '30s' or '2m' (default: 50 cases)",
+    )
+    fuzz_cmd.add_argument(
+        "--cases", type=int, default=None, help="hard case-count cap"
+    )
+    fuzz_cmd.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_cmd.add_argument(
+        "--policies",
+        default=",".join(policy.value for policy in BusPolicy),
+        help="comma-separated bus policies to draw from (default: all)",
+    )
+    fuzz_cmd.add_argument(
+        "--kinds",
+        default=",".join(CASE_KINDS),
+        help=f"comma-separated case kinds (default: {','.join(CASE_KINDS)})",
+    )
+    fuzz_cmd.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        help="directory to write shrunk reproducers into (default: only "
+        "print them)",
+    )
+    fuzz_cmd.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw violating cases without delta-debugging them",
+    )
+    fuzz_cmd.add_argument(
+        "--inject",
+        choices=fault_names(),
+        default=None,
+        help="TEST ONLY: enable a named unsoundness fault to prove the "
+        "oracles catch it",
+    )
+    fuzz_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="print perf counters (per-oracle checks, phase timings) after "
+        "the campaign",
+    )
+
+    replay_cmd = commands.add_parser(
+        "replay", help="replay the reproducer corpus and fail on regressions"
+    )
+    replay_cmd.add_argument(
+        "--corpus",
+        type=Path,
+        default=DEFAULT_CORPUS,
+        help=f"corpus directory (default: {DEFAULT_CORPUS})",
+    )
+    replay_cmd.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="specific corpus files to replay (default: whole corpus)",
+    )
+    return parser
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    budget = parse_budget(args.budget) if args.budget is not None else None
+    policies = _parse_policies(args.policies)
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    if args.profile:
+        reset_global_counters()
+
+    def campaign():
+        return fuzz(
+            budget=budget,
+            max_cases=args.cases,
+            seed=args.seed,
+            policies=policies,
+            kinds=kinds,
+            corpus_dir=args.corpus,
+            shrink=not args.no_shrink,
+        )
+
+    if args.inject:
+        print(
+            f"repro-verify: fault {args.inject!r} injected — a PASS now "
+            "means the oracles are blind",
+            file=sys.stderr,
+        )
+        with inject_fault(args.inject):
+            report = campaign()
+    else:
+        report = campaign()
+    print(report.render())
+    if args.profile:
+        print()
+        print(global_counters().render())
+    return 0 if report.passed else 1
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    report = replay_corpus(
+        corpus_dir=args.corpus, paths=args.paths or None
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatch; returns the process exit code."""
+    parser = _parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "fuzz":
+            return _run_fuzz(args)
+        return _run_replay(args)
+    except (AnalysisError, ModelError) as error:
+        print(f"repro-verify: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""The fuzzing engine: generate, check, shrink, persist, report.
+
+:func:`fuzz` drives the whole verification loop under a wall-clock budget
+or a case count: draw an adversarial case (see
+:mod:`repro.verify.generators`), evaluate every applicable oracle (see
+:mod:`repro.verify.oracles`), and — on a violation — delta-debug the case
+down to a minimal reproducer (:mod:`repro.verify.shrink`) and serialise it
+into the corpus for permanent replay (:mod:`repro.verify.corpus`).
+
+Per-oracle statistics flow through :class:`repro.perf.PerfCounters`
+(``verify_cases``, ``verify_shrink_steps``, ``oracle_checks``,
+``oracle_violations``), so ``--profile``-style reporting and the perf
+regression benches see the verifier exactly like any other kernel.
+
+All randomness comes from one ``random.Random(seed)``, making every run —
+including the shrink and the corpus file it writes — reproducible from the
+seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.model.platform import BusPolicy
+from repro.perf import PerfCounters, merge_global
+from repro.verify.cases import CASE_KINDS, case_to_json
+from repro.verify.corpus import CorpusEntry, save_entry
+from repro.verify.generators import generate_case
+from repro.verify.oracles import applicable_oracles, get_oracle
+from repro.verify.shrink import shrink_case
+
+
+@dataclass
+class Violation:
+    """One oracle firing, with its shrunk reproducer."""
+
+    oracle: str
+    messages: List[str]
+    case: object
+    shrunk_case: object
+    corpus_path: Optional[Path] = None
+
+    def render(self) -> str:
+        lines = [f"VIOLATION [{self.oracle}]"]
+        lines.extend(f"  {message}" for message in self.messages)
+        lines.append(
+            f"  reproducer ({self.shrunk_case.task_count} task(s)):"
+        )
+        if self.corpus_path is not None:
+            lines.append(f"  saved to {self.corpus_path}")
+        else:
+            lines.extend(
+                "  " + line for line in case_to_json(self.shrunk_case).splitlines()
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz run."""
+
+    cases: int = 0
+    elapsed: float = 0.0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+    perf: PerfCounters = field(default_factory=PerfCounters)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def checks(self) -> int:
+        return sum(self.perf.oracle_checks.values())
+
+    def render(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        rate = self.cases / self.elapsed if self.elapsed > 0 else 0.0
+        lines = [
+            f"verify fuzz: {verdict} — {self.cases} cases, "
+            f"{self.checks} oracle checks, {len(self.violations)} violations "
+            f"in {self.elapsed:.1f}s ({rate:.1f} cases/s)"
+        ]
+        kinds = ", ".join(
+            f"{kind}: {count}" for kind, count in sorted(self.per_kind.items())
+        )
+        lines.append(f"  case mix         {kinds}")
+        for oracle in sorted(self.perf.oracle_checks):
+            fired = self.perf.oracle_violations.get(oracle, 0)
+            lines.append(
+                f"  oracle {oracle:<20} checks {self.perf.oracle_checks[oracle]:>6d}"
+                f"   violations {fired}"
+            )
+        for violation in self.violations:
+            lines.append(violation.render())
+        return "\n".join(lines)
+
+
+def _kind_schedule(kinds: Sequence[str]) -> Tuple[str, ...]:
+    """Deterministic generation rotation, weighted toward cheap kinds.
+
+    Analytical task-set cases are cheap and cover most oracles, so they
+    appear twice per cycle; the simulator-backed scenario kind is the most
+    expensive and appears once.
+    """
+    schedule: List[str] = []
+    for kind in kinds:
+        schedule.extend([kind] * (2 if kind == "taskset" else 1))
+    return tuple(schedule)
+
+
+def fuzz(
+    budget: Optional[float] = None,
+    max_cases: Optional[int] = None,
+    seed: int = 0,
+    policies: Sequence[BusPolicy] = tuple(BusPolicy),
+    kinds: Sequence[str] = CASE_KINDS,
+    corpus_dir: Optional[Path] = None,
+    shrink: bool = True,
+    shrink_steps: int = 200,
+    perf: Optional[PerfCounters] = None,
+) -> FuzzReport:
+    """Run one soundness-fuzzing campaign.
+
+    Args:
+        budget: wall-clock budget in seconds; generation stops once it is
+            spent (a case in flight finishes its oracles).
+        max_cases: alternatively / additionally, a hard case-count cap.
+            When neither is given, 50 cases are run.
+        seed: the campaign is a pure function of this seed.
+        policies: bus policies the generated platforms draw from.
+        kinds: case kinds to generate (see ``CASE_KINDS``).
+        corpus_dir: where to serialise shrunk reproducers; violations are
+            only reported (not persisted) when omitted.
+        shrink: delta-debug violating cases to minimal reproducers.
+        shrink_steps: oracle-evaluation budget per shrink.
+        perf: optional caller-owned counters to additionally accumulate
+            into (the report always carries its own).
+    """
+    if budget is None and max_cases is None:
+        max_cases = 50
+    if budget is not None and budget <= 0:
+        raise AnalysisError(f"budget must be positive, got {budget}")
+    if max_cases is not None and max_cases <= 0:
+        raise AnalysisError(f"max_cases must be positive, got {max_cases}")
+    if not kinds:
+        raise AnalysisError("at least one case kind is required")
+    unknown = set(kinds) - set(CASE_KINDS)
+    if unknown:
+        raise AnalysisError(f"unknown case kinds: {sorted(unknown)}")
+    if not policies:
+        raise AnalysisError("at least one bus policy is required")
+
+    rng = random.Random(seed)
+    schedule = _kind_schedule(kinds)
+    report = FuzzReport()
+    counters = report.perf
+    started = time.perf_counter()
+    index = 0
+    while True:
+        if max_cases is not None and report.cases >= max_cases:
+            break
+        if budget is not None and time.perf_counter() - started >= budget:
+            break
+        kind = schedule[index % len(schedule)]
+        index += 1
+        case = generate_case(kind, rng, policies)
+        report.cases += 1
+        counters.verify_cases += 1
+        report.per_kind[kind] = report.per_kind.get(kind, 0) + 1
+        for oracle in applicable_oracles(kind):
+            with counters.phase(f"oracle:{oracle.name}"):
+                messages = oracle.check(case)
+            counters.oracle_checks[oracle.name] = (
+                counters.oracle_checks.get(oracle.name, 0) + 1
+            )
+            if not messages:
+                continue
+            counters.oracle_violations[oracle.name] = (
+                counters.oracle_violations.get(oracle.name, 0) + 1
+            )
+            shrunk = case
+            if shrink:
+                outcome = shrink_case(case, oracle, max_steps=shrink_steps)
+                counters.verify_shrink_steps += outcome.steps
+                shrunk = outcome.case
+                if outcome.messages:
+                    messages = outcome.messages
+            violation = Violation(
+                oracle=oracle.name,
+                messages=list(messages),
+                case=case,
+                shrunk_case=shrunk,
+            )
+            if corpus_dir is not None:
+                entry = CorpusEntry(
+                    case=shrunk,
+                    oracles=(oracle.name,),
+                    note=f"fuzz seed={seed}: " + "; ".join(messages[:2]),
+                )
+                violation.corpus_path = save_entry(entry, corpus_dir)
+            report.violations.append(violation)
+    report.elapsed = time.perf_counter() - started
+    if perf is not None:
+        perf.merge(counters)
+    merge_global(counters)
+    return report
+
+
+def collect_seed_corpus(
+    corpus_dir: Path,
+    seed: int = 0,
+    per_kind: int = 2,
+    policies: Sequence[BusPolicy] = tuple(BusPolicy),
+) -> List[Path]:
+    """Curate a passing seed corpus: the first ``per_kind`` cases of each
+    kind (from the seeded generator stream) that pass every oracle.
+
+    Used once to populate ``tests/corpus/`` and available for refreshing
+    it; entries record every applicable oracle so replay re-checks them
+    all.
+    """
+    rng = random.Random(seed)
+    paths: List[Path] = []
+    for kind in CASE_KINDS:
+        kept = 0
+        while kept < per_kind:
+            case = generate_case(kind, rng, policies)
+            oracles = applicable_oracles(kind)
+            if any(oracle.check(case) for oracle in oracles):
+                continue  # never seed a failing case; fix the bug first
+            entry = CorpusEntry(
+                case=case,
+                oracles=tuple(oracle.name for oracle in oracles),
+                note=f"seed corpus (seed={seed}, kind={kind})",
+            )
+            paths.append(save_entry(entry, corpus_dir))
+            kept += 1
+    return paths

@@ -1,0 +1,122 @@
+"""Adversarial random case generation for the soundness fuzzer.
+
+Generation deliberately strays from the paper's default experiment recipe:
+small and large caches, short and long memory latencies, lop-sided core
+counts, every bus policy, every CRPD/CPRO approach combination, and
+utilisations spanning trivially schedulable to hopeless.  Small task sets
+are favoured — they analyse faster (more cases per budget) and shrink to
+smaller reproducers when an oracle fires.
+
+All randomness flows through one explicit :class:`random.Random`, so a
+fuzz run is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.crpd.approaches import CrpdApproach
+from repro.generation.taskset_gen import GenerationConfig, generate_taskset
+from repro.model.platform import BusPolicy, CacheGeometry, Platform
+from repro.persistence.cpro import CproApproach
+from repro.sim.scenario import ScenarioSpec
+from repro.verify.cases import DemandCase, ScenarioCase, TasksetCase
+
+#: Benchmarks whose scaled traces stay short enough for quick replay.
+LIGHT_BENCHMARKS: Tuple[str, ...] = (
+    "lcdnum",
+    "bs",
+    "cnt",
+    "fibcall",
+    "insertsort",
+    "ns",
+    "sqrt",
+    "janne_complex",
+)
+
+_ALL_POLICIES: Tuple[BusPolicy, ...] = tuple(BusPolicy)
+
+
+def _random_platform(
+    rng: random.Random, policies: Sequence[BusPolicy]
+) -> Platform:
+    return Platform(
+        num_cores=rng.choice((2, 2, 3, 4)),
+        cache=CacheGeometry(num_sets=rng.choice((64, 128, 256))),
+        d_mem=rng.choice((5, 10, 10, 20)),
+        bus_policy=rng.choice(tuple(policies)),
+        slot_size=rng.choice((1, 2, 3)),
+    )
+
+
+def random_taskset_case(
+    rng: random.Random, policies: Sequence[BusPolicy] = _ALL_POLICIES
+) -> TasksetCase:
+    """Draw a synthetic-task-set case for the analytical oracles."""
+    platform = _random_platform(rng, policies)
+    generation = GenerationConfig(tasks_per_core=rng.choice((2, 3, 3, 4, 5)))
+    utilization = rng.uniform(0.1, 0.9)
+    taskset = generate_taskset(rng, platform, utilization, generation)
+    config = AnalysisConfig(
+        persistence=True,
+        crpd_approach=rng.choice(tuple(CrpdApproach)),
+        cpro_approach=rng.choice(tuple(CproApproach)),
+        tdma_slot_alignment=rng.random() < 0.5,
+    )
+    return TasksetCase(
+        platform=platform, tasks=tuple(taskset), config=config
+    )
+
+
+def random_scenario_case(
+    rng: random.Random, policies: Sequence[BusPolicy] = _ALL_POLICIES
+) -> ScenarioCase:
+    """Draw a program-backed case for the analysis-vs-simulation oracle."""
+    names = list(LIGHT_BENCHMARKS)
+    rng.shuffle(names)
+    cores = rng.choice((2, 2, 3))
+    specs = tuple(
+        ScenarioSpec(
+            benchmark=name,
+            core=position % cores,
+            period_factor=rng.randint(5, 12),
+        )
+        for position, name in enumerate(names[: rng.randint(2, 5)])
+    )
+    platform = Platform(
+        num_cores=cores,
+        cache=CacheGeometry(num_sets=rng.choice((128, 256))),
+        d_mem=rng.choice((5, 10)),
+        bus_policy=rng.choice(tuple(policies)),
+        slot_size=rng.choice((1, 2)),
+    )
+    return ScenarioCase(
+        platform=platform,
+        specs=specs,
+        layout_seed=rng.randrange(2**31),
+        hyperperiods=rng.randint(4, 10),
+    )
+
+
+def random_demand_case(rng: random.Random) -> DemandCase:
+    """Draw a multi-job-demand case for the Eq. 10 trace oracle."""
+    return DemandCase(
+        benchmark=rng.choice(LIGHT_BENCHMARKS),
+        n_jobs=rng.randint(1, 4),
+        num_sets=rng.choice((64, 128, 256)),
+    )
+
+
+def generate_case(
+    kind: str, rng: random.Random, policies: Sequence[BusPolicy] = _ALL_POLICIES
+):
+    """Dispatch on a case kind string (see ``CASE_KINDS``)."""
+    if kind == "taskset":
+        return random_taskset_case(rng, policies)
+    if kind == "scenario":
+        return random_scenario_case(rng, policies)
+    if kind == "demand":
+        return random_demand_case(rng)
+    raise ValueError(f"unknown case kind {kind!r}")

@@ -1,0 +1,181 @@
+"""Delta-debugging shrinker: reduce a violating case to a minimal reproducer.
+
+When an oracle fires on a fuzz-generated case the raw input is usually far
+larger than the bug needs — dozens of tasks, long job sequences, big cache
+footprints.  :func:`shrink_case` greedily applies structure-preserving
+reductions (drop tasks, shorten simulations, strip cache-block sets, lower
+job counts) and keeps every reduction under which the *same oracle still
+fires*, so the corpus ends up with the smallest reproducer the passes can
+reach — typically a handful of tasks.
+
+Every candidate is re-checked by actually running the oracle, so shrinking
+can never manufacture a spurious reproducer; the output is guaranteed to
+still violate the oracle it was shrunk against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.verify.cases import DemandCase, ScenarioCase, TasksetCase
+from repro.verify.oracles import Oracle
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one violating case."""
+
+    case: object
+    messages: List[str]
+    steps: int  # oracle evaluations spent
+
+
+def _still_fails(
+    oracle: Oracle, candidate, budget: "_Budget"
+) -> Optional[List[str]]:
+    """Messages if ``candidate`` still violates ``oracle``, else ``None``.
+
+    Candidates that fail to even construct (model validation errors) are
+    treated as not reproducing.
+    """
+    budget.steps += 1
+    try:
+        messages = oracle.check(candidate)
+    except Exception:
+        return None
+    return messages or None
+
+
+@dataclass
+class _Budget:
+    limit: int
+    steps: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.steps >= self.limit
+
+
+def _greedy_drop(
+    case,
+    items: Tuple,
+    rebuild: Callable,
+    oracle: Oracle,
+    budget: _Budget,
+):
+    """Repeatedly try dropping single items while the oracle still fires.
+
+    Scans from the back (later items are the cheapest to remove without
+    renumbering) and restarts after every successful removal, giving the
+    classic greedy 1-minimal reduction.
+    """
+    current = case
+    current_items = items
+    progress = True
+    while progress and len(current_items) > 1 and not budget.exhausted:
+        progress = False
+        for index in range(len(current_items) - 1, -1, -1):
+            if len(current_items) <= 1 or budget.exhausted:
+                break
+            candidate_items = (
+                current_items[:index] + current_items[index + 1 :]
+            )
+            try:
+                candidate = rebuild(current, candidate_items)
+            except Exception:
+                continue
+            if _still_fails(oracle, candidate, budget):
+                current = candidate
+                current_items = candidate_items
+                progress = True
+    return current, current_items
+
+
+def _shrink_taskset(
+    case: TasksetCase, oracle: Oracle, budget: _Budget
+) -> TasksetCase:
+    case, tasks = _greedy_drop(
+        case,
+        case.tasks,
+        lambda c, items: c.with_tasks(items),
+        oracle,
+        budget,
+    )
+    # Per-task simplifications: strip cache-block sets and persistence
+    # metadata one field at a time, keeping whatever still reproduces.
+    simplifiers = (
+        lambda t: replace(t, ucbs=frozenset()),
+        lambda t: replace(t, pcbs=frozenset()),
+        lambda t: replace(t, ecbs=t.ucbs | t.pcbs),
+        lambda t: replace(t, md_r=t.md),
+        lambda t: replace(t, pd=0.0),
+    )
+    for simplify in simplifiers:
+        for index in range(len(case.tasks)):
+            if budget.exhausted:
+                return case
+            try:
+                mutated = tuple(
+                    simplify(t) if i == index else t
+                    for i, t in enumerate(case.tasks)
+                )
+                candidate = case.with_tasks(mutated)
+            except Exception:
+                continue
+            if mutated != case.tasks and _still_fails(oracle, candidate, budget):
+                case = candidate
+    return case
+
+
+def _shrink_scenario(
+    case: ScenarioCase, oracle: Oracle, budget: _Budget
+) -> ScenarioCase:
+    case, _ = _greedy_drop(
+        case,
+        case.specs,
+        lambda c, items: replace(c, specs=items),
+        oracle,
+        budget,
+    )
+    # Shorter simulations replay faster; halve while the bug survives.
+    while case.hyperperiods > 2 and not budget.exhausted:
+        candidate = replace(case, hyperperiods=case.hyperperiods // 2)
+        if not _still_fails(oracle, candidate, budget):
+            break
+        case = candidate
+    return case
+
+
+def _shrink_demand(
+    case: DemandCase, oracle: Oracle, budget: _Budget
+) -> DemandCase:
+    # Try the minimal job count outright, then walk down linearly.
+    for n_jobs in (1, *range(2, case.n_jobs)):
+        if n_jobs >= case.n_jobs or budget.exhausted:
+            break
+        candidate = replace(case, n_jobs=n_jobs)
+        if _still_fails(oracle, candidate, budget):
+            return candidate
+    return case
+
+
+def shrink_case(case, oracle: Oracle, max_steps: int = 200) -> ShrinkResult:
+    """Shrink ``case`` to a smaller input still violating ``oracle``.
+
+    ``max_steps`` bounds the number of oracle evaluations spent; the
+    original case is returned unchanged if it no longer violates (e.g. a
+    flaky environment), which callers should treat as a failed shrink.
+    """
+    budget = _Budget(limit=max_steps)
+    messages = _still_fails(oracle, case, budget)
+    if not messages:
+        return ShrinkResult(case=case, messages=[], steps=budget.steps)
+    if isinstance(case, TasksetCase):
+        case = _shrink_taskset(case, oracle, budget)
+    elif isinstance(case, ScenarioCase):
+        case = _shrink_scenario(case, oracle, budget)
+    elif isinstance(case, DemandCase):
+        case = _shrink_demand(case, oracle, budget)
+    final = _still_fails(oracle, case, budget) or messages
+    return ShrinkResult(case=case, messages=final, steps=budget.steps)

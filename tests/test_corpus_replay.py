@@ -1,0 +1,44 @@
+"""Replay the checked-in seed corpus on every test run.
+
+Each entry under ``tests/corpus/`` is a previously validated (or previously
+failing, now fixed) scenario together with the oracles it must satisfy.
+Replaying them turns every captured reproducer into a permanent regression
+test: a change that reintroduces an unsoundness fails here with the exact
+minimal case that exposed it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.corpus import load_corpus, replay_corpus, replay_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+_ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_seed_corpus_is_present():
+    """The repository ships a non-empty seed corpus covering every kind."""
+    assert len(_ENTRIES) >= 6
+    kinds = {entry.case.kind for _, entry in _ENTRIES}
+    assert kinds == {"taskset", "demand", "scenario"}
+
+
+@pytest.mark.parametrize(
+    "path,entry",
+    _ENTRIES,
+    ids=[path.stem for path, _ in _ENTRIES],
+)
+def test_corpus_entry_replays_clean(path, entry):
+    outcome = replay_entry(entry)
+    failures = {name: msgs for name, msgs in outcome.items() if msgs}
+    assert not failures, f"{path.name}: {failures}"
+
+
+def test_replay_corpus_aggregate():
+    report = replay_corpus(CORPUS_DIR)
+    assert report.passed, report.failures
+    assert report.entries == len(_ENTRIES)
+    assert report.checks >= report.entries
+    assert "PASS" in report.render()

@@ -1,0 +1,164 @@
+"""Property tests for the epoch-keyed memoization layer.
+
+The memoized interference terms (``bao``, ``bao_low``, the multiset CRPD
+window term and full ``bas``) cache values keyed by the estimate-revision
+epoch of the core they read.  The soundness claim is that arbitrary
+interleavings of estimate bumps and queries can never serve a stale entry:
+after every single mutation step, a memoized context and a reference
+(non-memoized) context over the same task set must agree exactly.
+
+Hypothesis drives the interleavings; any counterexample it finds is a
+cache-invalidation bug by construction.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.config import CrpdApproach
+from repro.businterference.context import AnalysisContext
+from repro.businterference.requests import (
+    bao,
+    bao_low,
+    bas,
+    crpd_multiset_window,
+)
+from repro.crpd.approaches import CrpdCalculator
+from repro.verify.generators import random_taskset_case
+
+# A small pool of deterministic adversarial cases; hypothesis picks the
+# case and the interleaving.
+_CASES = [random_taskset_case(random.Random(seed)) for seed in (0, 1, 2)]
+
+
+def _fresh_contexts(case):
+    """A memoized and a reference context over the same task set."""
+    taskset = case.taskset()
+    contexts = []
+    for memoize in (True, False):
+        contexts.append(
+            AnalysisContext(
+                taskset=taskset,
+                platform=case.platform,
+                persistence=True,
+                crpd=CrpdCalculator.shared(
+                    taskset, CrpdApproach.ECB_UNION_MULTISET
+                ),
+                memoize=memoize,
+            )
+        )
+    return taskset, contexts[0], contexts[1]
+
+
+# One interleaving step: either bump a task's estimate or run a query.
+_STEP = st.tuples(
+    st.sampled_from(["bump", "bao", "bao_low", "crpd", "bas"]),
+    st.integers(min_value=0, max_value=10 ** 6),  # task selector / seed
+    st.integers(min_value=1, max_value=200_000),  # window length / delta
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    case_index=st.integers(min_value=0, max_value=len(_CASES) - 1),
+    steps=st.lists(_STEP, min_size=1, max_size=30),
+)
+def test_memoized_terms_never_stale(case_index, steps):
+    case = _CASES[case_index]
+    taskset, memo, reference = _fresh_contexts(case)
+    tasks = list(taskset)
+    cores = list(case.platform.cores)
+    for op, selector, amount in steps:
+        task = tasks[selector % len(tasks)]
+        if op == "bump":
+            value = int(task.pd + task.md * case.platform.d_mem) + amount
+            memo.set_response_time(task, value)
+            reference.set_response_time(task, value)
+            assert memo.response_time(task) == reference.response_time(task)
+            continue
+        t = amount
+        if op == "bao" or op == "bao_low":
+            remote = [c for c in cores if c != task.core]
+            core_y = remote[selector % len(remote)]
+            fn = bao if op == "bao" else bao_low
+            assert fn(memo, core_y, task, t) == fn(reference, core_y, task, t)
+        elif op == "crpd":
+            other = tasks[(selector // len(tasks)) % len(tasks)]
+            assert crpd_multiset_window(
+                memo, task, other, t
+            ) == crpd_multiset_window(reference, task, other, t)
+        else:  # bas
+            assert bas(memo, task, t) == bas(reference, task, t)
+    # Sanity: the memoized context actually exercised its caches (bas has
+    # its own prefetched-row path, so only the other queries count here).
+    if any(op in ("bao", "bao_low", "crpd") for op, _, _ in steps):
+        perf = memo.perf
+        assert (
+            perf.bao_hits
+            + perf.bao_misses
+            + perf.bao_low_hits
+            + perf.bao_low_misses
+            + perf.crpd_window_hits
+            + perf.crpd_window_misses
+        ) > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    case_index=st.integers(min_value=0, max_value=len(_CASES) - 1),
+    bumps=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10 ** 6),
+            st.integers(min_value=0, max_value=500_000),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    t=st.integers(min_value=1, max_value=200_000),
+)
+def test_repeated_query_tracks_every_bump(case_index, bumps, t):
+    """Query → bump → query: the second answer must reflect the new
+    estimates, i.e. equal a cold reference evaluation (no stale reuse)."""
+    case = _CASES[case_index]
+    taskset, memo, reference = _fresh_contexts(case)
+    tasks = list(taskset)
+    cores = list(case.platform.cores)
+    for selector, delta in bumps:
+        task = tasks[selector % len(tasks)]
+        remote = [c for c in cores if c != task.core]
+        core_y = remote[selector % len(remote)]
+        # Warm the memo caches before the bump...
+        bao(memo, core_y, task, t)
+        bao_low(memo, core_y, task, t)
+        value = int(task.pd + task.md * case.platform.d_mem) + delta
+        memo.set_response_time(task, value)
+        reference.set_response_time(task, value)
+        # ...then require agreement with the reference immediately after.
+        assert bao(memo, core_y, task, t) == bao(reference, core_y, task, t)
+        assert bao_low(memo, core_y, task, t) == bao_low(
+            reference, core_y, task, t
+        )
+        assert bas(memo, task, t) == bas(reference, task, t)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    case_index=st.integers(min_value=0, max_value=len(_CASES) - 1),
+    t=st.integers(min_value=1, max_value=200_000),
+)
+def test_epoch_unchanged_when_estimate_identical(case_index, t):
+    """Re-setting the same estimate must not invalidate caches (the epoch
+    only moves on actual changes) — and must stay correct."""
+    case = _CASES[case_index]
+    taskset, memo, reference = _fresh_contexts(case)
+    task = next(iter(taskset))
+    remote = [c for c in case.platform.cores if c != task.core][0]
+    memo.set_response_time(task, 12345)
+    epoch_before = memo.core_epoch(task.core)
+    first = bao(memo, remote, task, t)
+    memo.set_response_time(task, 12345)  # no-op revision
+    assert memo.core_epoch(task.core) == epoch_before
+    assert bao(memo, remote, task, t) == first
+    reference.set_response_time(task, 12345)
+    assert first == bao(reference, remote, task, t)
