@@ -41,3 +41,39 @@ class SimulationError(ReproError):
 
 class GenerationError(ReproError):
     """Random task-set generation received unsatisfiable parameters."""
+
+
+class ExecutionError(ReproError):
+    """The resilient sweep-execution layer failed outside of the analysis.
+
+    Base class for errors of :mod:`repro.experiments.supervisor` and
+    :mod:`repro.experiments.journal`: worker-pool management, checkpoint
+    journals and interrupt handling.  Per-sample *analysis* failures are
+    not raised at all — they are quarantined as
+    :class:`repro.experiments.supervisor.SampleFailure` records.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died abruptly (segfault, ``os._exit``, OOM kill).
+
+    The supervisor recovers by respawning the pool and bisecting the failed
+    chunk; this error only reaches the caller when recovery itself is
+    impossible (e.g. the pool cannot be respawned).
+    """
+
+
+class ChunkTimeoutError(ExecutionError):
+    """A worker chunk exceeded its per-chunk wall-clock budget (hang)."""
+
+
+class JournalError(ExecutionError):
+    """A run journal is malformed or belongs to a different sweep."""
+
+
+class SweepInterrupted(ExecutionError):
+    """The sweep was stopped by SIGINT/SIGTERM after flushing its journal.
+
+    Carries a human-readable hint on how to resume; the CLI turns it into a
+    clean non-zero exit instead of a traceback.
+    """

@@ -21,10 +21,29 @@ from repro.experiments.fig3 import (
     run_fig3c,
     run_fig3d,
 )
+from repro.experiments.journal import RunJournal, sweep_fingerprint
+from repro.experiments.runner import (
+    CurveOutcomes,
+    SampleOutcome,
+    run_curve,
+    schedulability_ratios,
+    weighted_measures,
+)
 from repro.experiments.stats import ratio_confidence_intervals, wilson_interval
+from repro.experiments.supervisor import SampleFailure, SweepSupervisor, WorkItem
 from repro.experiments.table1 import Table1Result, run_table1
 
 __all__ = [
+    "CurveOutcomes",
+    "RunJournal",
+    "SampleFailure",
+    "SampleOutcome",
+    "SweepSupervisor",
+    "WorkItem",
+    "run_curve",
+    "schedulability_ratios",
+    "sweep_fingerprint",
+    "weighted_measures",
     "DEFAULT_SAMPLES",
     "PAPER_SAMPLES",
     "PAPER_UTILIZATIONS",

@@ -9,6 +9,17 @@ Regenerates every table and figure of the paper's evaluation::
 
 Sample counts default to 100 task sets per point (the paper uses 1000);
 ``REPRO_SAMPLES`` and ``REPRO_JOBS`` provide environment overrides.
+
+Long campaigns should run journaled so they survive crashes and
+pre-emption (see ``docs/RESILIENCE.md``)::
+
+    repro-experiments fig2 --samples 1000 --jobs 8 --journal runs/fig2
+    # ... SIGTERM / crash / Ctrl-C ...
+    repro-experiments fig2 --samples 1000 --jobs 8 --journal runs/fig2 --resume
+
+``--timeout``/``--retries`` tune the worker supervision (hang watchdog and
+transient-failure retry budget), and ``--inject`` deliberately breaks one
+sample (crash/hang/flaky) to exercise the recovery paths.
 """
 
 from __future__ import annotations
@@ -18,15 +29,19 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, JournalError, SweepInterrupted
 from repro.experiments.config import settings_from_environment
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c, run_fig3d
 from repro.experiments.table1 import run_table1
 from repro.perf import global_counters, reset_global_counters
+from repro.verify.faults import parse_sweep_fault, sweep_fault_kinds
 
 _EXPERIMENTS = ("table1", "fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig3d")
+
+#: Exit code for an interrupted-but-journaled sweep (mirrors 128+SIGINT).
+EXIT_INTERRUPTED = 130
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -64,6 +79,42 @@ def _parser() -> argparse.ArgumentParser:
         help="print analysis-kernel perf counters (iterations, memo hit "
         "ratios, phase timings) after each experiment",
     )
+    parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="checkpoint every completed (point, sample) item into an "
+        "append-only JSONL journal in DIR, keyed by the sweep fingerprint",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip items already recorded in the --journal directory "
+        "(bit-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk wall-clock budget; a chunk exceeding it is killed "
+        "and retried (default: no hang watchdog)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="per-sample retry budget for transient failures before the "
+        "sample is quarantined (default: 2)",
+    )
+    parser.add_argument(
+        "--inject",
+        metavar="FAULT",
+        default=None,
+        help="TEST ONLY: inject a deterministic execution fault "
+        f"({', '.join(sweep_fault_kinds())}; optionally "
+        "'KIND:POINT,SAMPLE') to prove the recovery paths work",
+    )
     return parser
 
 
@@ -76,26 +127,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["samples"] = args.samples
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
+    if args.timeout is not None:
+        overrides["timeout"] = args.timeout
+    if args.retries is not None:
+        overrides["retries"] = args.retries
     try:
+        if args.resume and args.journal is None:
+            raise AnalysisError("--resume requires a --journal directory")
+        fault = parse_sweep_fault(args.inject) if args.inject else None
         settings = settings_from_environment(**overrides)
     except AnalysisError as error:
         print(f"repro-experiments: error: {error}", file=sys.stderr)
         return 2
 
+    sweep_kwargs = {
+        "journal_dir": args.journal,
+        "resume": args.resume,
+        "fault": fault,
+    }
     runners = {
+        # table1 and fig1 are cheap and deterministic — nothing to journal.
         "table1": lambda: run_table1(),
         "fig1": lambda: run_fig1(),
-        "fig2": lambda: run_fig2(settings),
-        "fig3a": lambda: run_fig3a(settings),
-        "fig3b": lambda: run_fig3b(settings),
-        "fig3c": lambda: run_fig3c(settings),
-        "fig3d": lambda: run_fig3d(settings),
+        "fig2": lambda: run_fig2(settings, **sweep_kwargs),
+        "fig3a": lambda: run_fig3a(settings, **sweep_kwargs),
+        "fig3b": lambda: run_fig3b(settings, **sweep_kwargs),
+        "fig3c": lambda: run_fig3c(settings, **sweep_kwargs),
+        "fig3d": lambda: run_fig3d(settings, **sweep_kwargs),
     }
     for name in chosen:
         if settings.profile:
             reset_global_counters()
         started = time.time()
-        result = runners[name]()
+        try:
+            result = runners[name]()
+        except SweepInterrupted as interruption:
+            print(
+                f"repro-experiments: interrupted: {interruption}",
+                file=sys.stderr,
+            )
+            return EXIT_INTERRUPTED
+        except JournalError as error:
+            print(f"repro-experiments: error: {error}", file=sys.stderr)
+            return 2
         print(result.render())
         print(f"[{name} completed in {time.time() - started:.1f}s]\n")
         if settings.profile:

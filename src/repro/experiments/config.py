@@ -17,9 +17,10 @@ size 2.  Seven analysis variants appear across the figures:
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.analysis.config import AnalysisConfig, BASELINE, PERSISTENCE_AWARE
 from repro.errors import AnalysisError
@@ -100,6 +101,19 @@ class SweepSettings:
     concrete worker count.  Negative values are rejected.  ``profile``
     asks the CLI to print the kernel's perf counters after each
     experiment (see :mod:`repro.perf`).
+
+    The resilience knobs drive the supervised execution layer
+    (:mod:`repro.experiments.supervisor`): ``timeout`` is the per-chunk
+    wall-clock budget in seconds (``None`` disables the hang watchdog, the
+    default — legitimate chunks near the schedulability cliff can be
+    arbitrarily slow); ``retries`` is the per-sample retry budget for
+    transient failures; ``backoff`` the base of the capped exponential
+    backoff between retries.
+
+    Every parameter is validated eagerly at construction with a typed
+    :class:`~repro.errors.ReproError` subclass, so misconfiguration
+    surfaces here — at the call site — rather than as an opaque failure
+    deep inside a worker process.
     """
 
     samples: int = DEFAULT_SAMPLES
@@ -108,10 +122,13 @@ class SweepSettings:
     jobs: int = 1
     generation: GenerationConfig = field(default_factory=GenerationConfig)
     profile: bool = False
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.samples <= 0:
-            raise AnalysisError(f"samples must be positive, got {self.samples}")
+        if self.samples < 1:
+            raise AnalysisError(f"samples must be >= 1, got {self.samples}")
         if self.jobs < 0:
             raise AnalysisError(
                 f"jobs must be positive (or 0 for auto-detection), "
@@ -123,6 +140,28 @@ class SweepSettings:
             object.__setattr__(self, "jobs", os.cpu_count() or 1)
         if not self.utilizations:
             raise AnalysisError("at least one utilisation point is required")
+        for utilization in self.utilizations:
+            if not math.isfinite(utilization) or utilization <= 0:
+                raise AnalysisError(
+                    f"utilisation points must be finite and positive, "
+                    f"got {utilization}"
+                )
+        if self.timeout is not None and not (
+            math.isfinite(self.timeout) and self.timeout > 0
+        ):
+            raise AnalysisError(
+                f"timeout must be a positive number of seconds (or None "
+                f"to disable the watchdog), got {self.timeout}"
+            )
+        if self.retries < 0:
+            raise AnalysisError(
+                f"retries must be non-negative, got {self.retries}"
+            )
+        if not (math.isfinite(self.backoff) and self.backoff >= 0):
+            raise AnalysisError(
+                f"backoff must be a finite non-negative number of seconds, "
+                f"got {self.backoff}"
+            )
 
 
 def _environment_int(name: str) -> int:

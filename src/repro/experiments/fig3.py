@@ -15,8 +15,8 @@ All non-swept parameters keep the paper defaults.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import (
     SweepSettings,
@@ -26,24 +26,39 @@ from repro.experiments.config import (
     slot_variants,
     standard_variants,
 )
-from repro.experiments.report import format_table
+from repro.experiments.report import format_coverage, format_table
 from repro.experiments.runner import run_curve, weighted_measures
+from repro.experiments.supervisor import SampleFailure
 from repro.generation.taskset_gen import ParameterSource
 from repro.model.platform import CacheGeometry, Platform, microseconds_to_cycles
+from repro.verify.faults import SweepFault
 
 
 @dataclass
 class WeightedSweepResult:
-    """Weighted schedulability per variant along one parameter axis."""
+    """Weighted schedulability per variant along one parameter axis.
+
+    ``failures`` lists the quarantined samples across every parameter
+    value of the sweep (empty in a healthy run); the measures are then
+    taken over the surviving samples and :meth:`render` reports coverage.
+    """
 
     title: str
     x_label: str
     x_values: Tuple
     measures: Dict[str, List[float]]
+    failures: List[SampleFailure] = field(default_factory=list)
+    healthy: int = 0
+    expected: int = 0
 
     def render(self) -> str:
         """Text rendition of the sweep."""
-        return format_table(self.title, self.x_label, self.x_values, self.measures)
+        table = format_table(self.title, self.x_label, self.x_values, self.measures)
+        if self.failures:
+            table += "\n\n" + format_coverage(
+                self.healthy, self.expected, self.failures
+            )
+        return table
 
     def series(self, label: str) -> List[float]:
         """One curve by variant label."""
@@ -57,17 +72,34 @@ def _weighted_sweep(
     platform_for: Callable[[object], Platform],
     variants: Tuple[Variant, ...],
     settings: SweepSettings,
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
+    fault: Optional[SweepFault] = None,
 ) -> WeightedSweepResult:
+    # Each parameter value runs with a distinct point offset, so each gets
+    # its own fingerprint — and hence its own journal file — inside the
+    # shared journal directory.
     if settings.utilizations is None or len(settings.utilizations) > len(
         WEIGHTED_UTILIZATIONS
     ):
         settings = replace(settings, utilizations=WEIGHTED_UTILIZATIONS)
     measures: Dict[str, List[float]] = {v.label: [] for v in variants}
+    failures: List[SampleFailure] = []
+    healthy = expected = 0
     for index, value in enumerate(x_values):
         platform = platform_for(value)
         outcomes = run_curve(
-            platform, variants, settings, point_offset=1000 * (index + 1)
+            platform,
+            variants,
+            settings,
+            point_offset=1000 * (index + 1),
+            journal_dir=journal_dir,
+            resume=resume,
+            fault=fault,
         )
+        failures.extend(outcomes.failures)
+        healthy += outcomes.healthy
+        expected += outcomes.expected
         point = weighted_measures(outcomes, variants)
         for label, measure in point.items():
             measures[label].append(measure)
@@ -76,12 +108,18 @@ def _weighted_sweep(
         x_label=x_label,
         x_values=tuple(x_values),
         measures=measures,
+        failures=failures,
+        healthy=healthy,
+        expected=expected,
     )
 
 
 def run_fig3a(
     settings: SweepSettings = SweepSettings(),
     core_counts: Sequence[int] = (2, 4, 6, 8, 10),
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
+    fault: Optional[SweepFault] = None,
 ) -> WeightedSweepResult:
     """Fig. 3a — weighted schedulability versus number of cores."""
     base = default_platform()
@@ -92,12 +130,18 @@ def run_fig3a(
         lambda m: base.with_num_cores(m),
         standard_variants(include_perfect=False),
         settings,
+        journal_dir=journal_dir,
+        resume=resume,
+        fault=fault,
     )
 
 
 def run_fig3b(
     settings: SweepSettings = SweepSettings(),
     d_mem_microseconds: Sequence[int] = (2, 4, 6, 8, 10),
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
+    fault: Optional[SweepFault] = None,
 ) -> WeightedSweepResult:
     """Fig. 3b — weighted schedulability versus memory reload time."""
     base = default_platform()
@@ -108,12 +152,18 @@ def run_fig3b(
         lambda us: base.with_d_mem(microseconds_to_cycles(us)),
         standard_variants(include_perfect=False),
         settings,
+        journal_dir=journal_dir,
+        resume=resume,
+        fault=fault,
     )
 
 
 def run_fig3c(
     settings: SweepSettings = SweepSettings(),
     cache_sets: Sequence[int] = (32, 64, 128, 256, 512, 1024),
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
+    fault: Optional[SweepFault] = None,
 ) -> WeightedSweepResult:
     """Fig. 3c — weighted schedulability versus cache size.
 
@@ -132,12 +182,18 @@ def run_fig3c(
         lambda sets: base.with_cache(CacheGeometry(num_sets=sets, block_size=32)),
         standard_variants(include_perfect=False),
         settings,
+        journal_dir=journal_dir,
+        resume=resume,
+        fault=fault,
     )
 
 
 def run_fig3d(
     settings: SweepSettings = SweepSettings(),
     slot_sizes: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
+    fault: Optional[SweepFault] = None,
 ) -> WeightedSweepResult:
     """Fig. 3d — weighted schedulability versus RR/TDMA slot size."""
     base = default_platform()
@@ -148,4 +204,7 @@ def run_fig3d(
         lambda s: base.with_slot_size(s),
         slot_variants(),
         settings,
+        journal_dir=journal_dir,
+        resume=resume,
+        fault=fault,
     )

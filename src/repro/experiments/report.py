@@ -11,6 +11,23 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 
+def format_coverage(healthy: int, expected: int, failures: Sequence) -> str:
+    """Render a sweep's graceful-degradation summary.
+
+    Only shown when samples were quarantined: names the coverage that the
+    aggregates were computed over and one line per quarantined sample with
+    its reproducer seed (see ``docs/RESILIENCE.md``).
+    """
+    ratio = healthy / expected if expected else 1.0
+    lines = [
+        f"Coverage: {healthy}/{expected} samples "
+        f"({100 * ratio:.1f}%) — {len(failures)} quarantined:"
+    ]
+    for failure in failures:
+        lines.append(f"  {failure.describe()}")
+    return "\n".join(lines)
+
+
 def format_table(
     title: str,
     x_label: str,

@@ -10,30 +10,47 @@ seed, the point index and the sample index, so results are reproducible and
 independent of the degree of parallelism.  All variants see the *same*
 task sets, as in the paper.
 
-Parallelism: the sweep is flattened into individual ``(point, sample)``
-work items and dealt to worker processes in contiguous chunks.  Because
-each sample's seed is order-independent, any partitioning yields the same
-outcomes bit for bit; chunking merely balances load (a utilisation point
-near the schedulability cliff costs far more than a trivially feasible
-one, so per-*point* parallelism leaves workers idle).  Worker processes
-also return their :class:`repro.perf.PerfCounters`, which are merged into
-the parent's global counters so ``--profile`` sees the whole sweep.
+Parallelism and resilience: the sweep is flattened into individual
+``(point, sample)`` work items and executed by the fault-tolerant
+:class:`~repro.experiments.supervisor.SweepSupervisor` — contiguous
+chunks dealt to worker processes created with the explicit **spawn**
+start method (identical worker behaviour, perf-counter state and
+recovery semantics on Linux and macOS; see the supervisor docstring).
+Because each sample's seed is order-independent, any partitioning,
+retry or resume order yields the same outcomes bit for bit; chunking
+merely balances load (a utilisation point near the schedulability cliff
+costs far more than a trivially feasible one, so per-*point* parallelism
+leaves workers idle).  Failing samples are quarantined as
+:class:`~repro.experiments.supervisor.SampleFailure` records instead of
+aborting the sweep, and an optional journal directory checkpoints every
+completed item so an interrupted campaign resumes bit-identically
+(``--journal``/``--resume``; see ``docs/RESILIENCE.md``).  Worker
+processes also return their :class:`repro.perf.PerfCounters`, which are
+merged into the parent's global counters so ``--profile`` sees the whole
+sweep.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import random
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.schedulability import is_schedulable
 from repro.analysis.weighted import weighted_schedulability
+from repro.errors import AnalysisError, JournalError
 from repro.experiments.config import SweepSettings, Variant
+from repro.experiments.journal import RunJournal, sweep_description, sweep_fingerprint
+from repro.experiments.supervisor import (
+    SampleFailure,
+    SweepSupervisor,
+    WorkItem,
+)
 from repro.generation.taskset_gen import GenerationConfig, generate_taskset
 from repro.model.platform import Platform
-from repro.perf import PerfCounters, merge_global
-
-import random
+from repro.perf import PerfCounters
+from repro.verify.faults import SweepFault
 
 
 @dataclass(frozen=True)
@@ -42,10 +59,6 @@ class SampleOutcome:
 
     weight: float
     verdicts: Tuple[bool, ...]
-
-
-#: One flattened work item: ``(utilization, sample_seed)``.
-_WorkItem = Tuple[float, int]
 
 
 def _sample_seed(seed: int, point_index: int, sample_index: int) -> int:
@@ -82,34 +95,54 @@ def evaluate_sample(
     return SampleOutcome(weight=weight, verdicts=verdicts)
 
 
-def _chunk_task(args) -> Tuple[List[SampleOutcome], PerfCounters]:
-    """Evaluate one contiguous chunk of flattened work items.
+def evaluate_item(
+    base_platform: Platform,
+    utilization: float,
+    variants: Sequence[Variant],
+    generation: GenerationConfig,
+    sample_seed: int,
+    perf: Optional[PerfCounters] = None,
+) -> Tuple[float, Tuple[bool, ...]]:
+    """Supervisor-facing adapter: :func:`evaluate_sample` as raw payload.
 
-    Runs in a worker process (or inline when ``jobs == 1``).  Returns the
-    outcomes in item order plus the perf counters accumulated over the
-    chunk, so the parent can merge them into its global counters.
+    Module-level so it pickles by reference into spawn workers.
     """
-    base_platform, variants, generation, items = args
-    perf = PerfCounters()
-    outcomes = [
-        evaluate_sample(base_platform, utilization, variants, generation, seed, perf)
-        for utilization, seed in items
-    ]
-    return outcomes, perf
+    outcome = evaluate_sample(
+        base_platform, utilization, variants, generation, sample_seed, perf
+    )
+    return outcome.weight, outcome.verdicts
 
 
-def _chunked(items: Sequence[_WorkItem], jobs: int) -> List[Tuple[_WorkItem, ...]]:
-    """Split the flat item list into contiguous, load-balancing chunks.
+class CurveOutcomes(Dict[float, List[SampleOutcome]]):
+    """Per-utilisation outcome lists plus graceful-degradation metadata.
 
-    A few chunks per worker smooths out the cost imbalance between easy
-    and hard samples without drowning the pool in per-item dispatch
-    overhead.
+    Behaves exactly like the plain ``Dict[float, List[SampleOutcome]]``
+    the aggregators always consumed; additionally carries the sweep's
+    quarantined :attr:`failures` and the resulting :attr:`coverage` so
+    callers can report how much of the campaign survived.
     """
-    chunk_size = max(1, -(-len(items) // (jobs * 4)))
-    return [
-        tuple(items[start : start + chunk_size])
-        for start in range(0, len(items), chunk_size)
-    ]
+
+    def __init__(
+        self,
+        mapping: Dict[float, List[SampleOutcome]],
+        failures: Sequence[SampleFailure] = (),
+        expected: int = 0,
+    ) -> None:
+        super().__init__(mapping)
+        #: Quarantined samples, in ``(point, sample)`` order.
+        self.failures: List[SampleFailure] = list(failures)
+        #: Total number of ``(point, sample)`` items the sweep asked for.
+        self.expected = expected
+
+    @property
+    def healthy(self) -> int:
+        """Number of samples that completed and were aggregated."""
+        return sum(len(samples) for samples in self.values())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of requested samples that completed (1.0 = no loss)."""
+        return self.healthy / self.expected if self.expected else 1.0
 
 
 def run_point(
@@ -121,14 +154,24 @@ def run_point(
 ) -> List[SampleOutcome]:
     """All sample outcomes for one (platform, utilisation) point."""
     items = [
-        (utilization, _sample_seed(settings.seed, point_index, i))
+        WorkItem(
+            point=point_index,
+            sample=i,
+            utilization=utilization,
+            seed=_sample_seed(settings.seed, point_index, i),
+        )
         for i in range(settings.samples)
     ]
-    outcomes, perf = _chunk_task(
-        (base_platform, tuple(variants), settings.generation, items)
+    supervisor = SweepSupervisor(
+        evaluate_item, base_platform, tuple(variants), settings.generation, settings
     )
-    merge_global(perf)
-    return outcomes
+    completed, _failures = supervisor.run(items)
+    return [
+        SampleOutcome(weight=weight, verdicts=verdicts)
+        for weight, verdicts in (
+            completed[item.key] for item in items if item.key in completed
+        )
+    ]
 
 
 def run_curve(
@@ -136,52 +179,115 @@ def run_curve(
     variants: Sequence[Variant],
     settings: SweepSettings,
     point_offset: int = 0,
-) -> Dict[float, List[SampleOutcome]]:
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
+    fault: Optional[SweepFault] = None,
+) -> CurveOutcomes:
     """Outcomes for every utilisation point of the grid.
 
     ``point_offset`` decorrelates the RNG streams of different parameter
     values in multi-parameter sweeps.  With ``settings.jobs > 1`` the
-    flattened ``(point, sample)`` items are evaluated in parallel worker
-    processes; results are bit-identical to the sequential run because the
-    per-sample seeds do not depend on execution order.
+    flattened ``(point, sample)`` items are evaluated in supervised
+    worker processes; results are bit-identical to the sequential run
+    because the per-sample seeds do not depend on execution order.
+
+    ``journal_dir`` checkpoints every completed item into an append-only
+    JSONL journal keyed by the sweep fingerprint; with ``resume`` the
+    journalled items are skipped and their recorded outcomes reused
+    bit-identically.  Opening a non-empty journal without ``resume``
+    raises :class:`~repro.errors.JournalError` rather than silently
+    mixing two runs.  ``fault`` injects a deterministic execution fault
+    into the workers (recovery-path testing only).
     """
-    items: List[_WorkItem] = [
-        (utilization, _sample_seed(settings.seed, point_offset + index, i))
+    items: List[WorkItem] = [
+        WorkItem(
+            point=index,
+            sample=i,
+            utilization=utilization,
+            seed=_sample_seed(settings.seed, point_offset + index, i),
+        )
         for index, utilization in enumerate(settings.utilizations)
         for i in range(settings.samples)
     ]
     variants = tuple(variants)
-    if settings.jobs > 1:
-        chunks = _chunked(items, settings.jobs)
-        tasks = [
-            (base_platform, variants, settings.generation, chunk)
-            for chunk in chunks
-        ]
-        with ProcessPoolExecutor(max_workers=settings.jobs) as pool:
-            flat: List[SampleOutcome] = []
-            for outcomes, perf in pool.map(_chunk_task, tasks):
-                flat.extend(outcomes)
-                merge_global(perf)
-    else:
-        flat, perf = _chunk_task(
-            (base_platform, variants, settings.generation, items)
+    journal: Optional[RunJournal] = None
+    if journal_dir is not None:
+        fingerprint = sweep_fingerprint(base_platform, variants, settings, point_offset)
+        journal = RunJournal.open(
+            journal_dir,
+            fingerprint,
+            sweep_description(base_platform, variants, settings, point_offset),
         )
-        merge_global(perf)
+        if not resume and (journal.completed or journal.failures):
+            path = journal.path
+            journal.close()
+            raise JournalError(
+                f"journal {path} already holds results for this sweep; "
+                f"pass --resume to continue it or remove the file to start over"
+            )
+    with journal if journal is not None else nullcontext():
+        prior = dict(journal.completed) if journal is not None else {}
+        replayed = (
+            [
+                SampleFailure.from_record(record)
+                for _key, record in sorted(journal.failures.items())
+            ]
+            if journal is not None
+            else []
+        )
+        skip = set(prior)
+        skip.update(key for key in (journal.failures if journal else {}))
+        pending = [item for item in items if item.key not in skip]
+        supervisor = SweepSupervisor(
+            evaluate_item,
+            base_platform,
+            variants,
+            settings.generation,
+            settings,
+            journal=journal,
+            fault=fault,
+        )
+        fresh, failures = supervisor.run(pending)
+    completed = {**prior, **fresh}
     results: Dict[float, List[SampleOutcome]] = {}
     for index, utilization in enumerate(settings.utilizations):
-        start = index * settings.samples
-        results[utilization] = flat[start : start + settings.samples]
-    return results
+        results[utilization] = [
+            SampleOutcome(weight=weight, verdicts=tuple(verdicts))
+            for weight, verdicts in (
+                completed[(index, i)]
+                for i in range(settings.samples)
+                if (index, i) in completed
+            )
+        ]
+    all_failures = sorted(
+        [*replayed, *failures], key=lambda f: (f.point, f.sample)
+    )
+    return CurveOutcomes(results, failures=all_failures, expected=len(items))
 
 
 def schedulability_ratios(
     outcomes: Dict[float, List[SampleOutcome]],
     variants: Sequence[Variant],
 ) -> Dict[str, List[float]]:
-    """Per-variant schedulability ratio at each utilisation point."""
+    """Per-variant schedulability ratio at each utilisation point.
+
+    Degrades gracefully under quarantined samples: each point's ratio is
+    taken over the samples that actually completed.  An empty utilisation
+    grid, or a point where *every* sample was quarantined, raises a typed
+    :class:`~repro.errors.AnalysisError` instead of dividing by zero.
+    """
+    if not outcomes:
+        raise AnalysisError(
+            "schedulability ratios of an empty utilisation grid"
+        )
     ratios: Dict[str, List[float]] = {v.label: [] for v in variants}
     for utilization in sorted(outcomes):
         samples = outcomes[utilization]
+        if not samples:
+            raise AnalysisError(
+                f"no surviving samples at utilisation {utilization}: "
+                f"every sample failed or was quarantined"
+            )
         for column, variant in enumerate(variants):
             schedulable = sum(1 for s in samples if s.verdicts[column])
             ratios[variant.label].append(schedulable / len(samples))
@@ -192,7 +298,12 @@ def weighted_measures(
     outcomes: Dict[float, List[SampleOutcome]],
     variants: Sequence[Variant],
 ) -> Dict[str, float]:
-    """Per-variant weighted schedulability over the whole utilisation grid."""
+    """Per-variant weighted schedulability over the whole utilisation grid.
+
+    Quarantined samples are simply absent from the weighting; a sweep
+    with no surviving weight at all raises
+    :class:`~repro.errors.AnalysisError` (the measure is undefined).
+    """
     measures: Dict[str, float] = {}
     for column, variant in enumerate(variants):
         pairs: List[Tuple[float, bool]] = []
@@ -208,8 +319,17 @@ def max_gap(
     """Largest percentage-point gain of ``aware`` over ``baseline``.
 
     This is the quantity behind the paper's "up to 70 percentage points"
-    claims (Sec. V.1).
+    claims (Sec. V.1).  Missing labels and empty ratio series raise a
+    typed :class:`~repro.errors.AnalysisError` instead of ``KeyError`` /
+    ``ValueError``.
     """
-    aware = ratios[aware_label]
-    baseline = ratios[baseline_label]
+    try:
+        aware = ratios[aware_label]
+        baseline = ratios[baseline_label]
+    except KeyError as error:
+        raise AnalysisError(
+            f"max gap over unknown variant label {error}"
+        ) from None
+    if not aware or not baseline:
+        raise AnalysisError("max gap over empty ratio series")
     return max(a - b for a, b in zip(aware, baseline))

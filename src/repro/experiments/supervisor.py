@@ -1,0 +1,740 @@
+"""Fault-tolerant execution of flattened sweep work items.
+
+``ProcessPoolExecutor.map`` — what the sweep engine used before this module
+existed — has all-or-nothing semantics: one segfaulting worker, one hung
+fixed point or one Ctrl-C surfaces as ``BrokenProcessPool`` and throws away
+every completed chunk.  The supervisor replaces it with three recovery
+layers, ordered from cheapest to most drastic:
+
+1. **Per-sample isolation.**  Workers catch ordinary exceptions around
+   each sample and return them as data (exception class, message,
+   traceback digest) instead of letting them abort the chunk.  The
+   supervisor retries such samples with capped exponential backoff and
+   quarantines them as :class:`SampleFailure` records once the retry
+   budget is exhausted.  A failure's ``seed`` is a complete reproducer:
+   :func:`repro.experiments.runner.evaluate_sample` with the same
+   platform/generation parameters deterministically rebuilds the failing
+   task set, which makes quarantine records direct feed for the
+   :mod:`repro.verify` corpus.
+2. **Hang watchdog.**  With ``settings.timeout`` set, a chunk that
+   exceeds its wall-clock budget causes the whole pool to be terminated
+   (a hung worker cannot be cancelled any other way).  Guilty chunks go
+   through the recovery rule below; innocent in-flight chunks are simply
+   resubmitted.
+3. **Crash recovery.**  ``BrokenProcessPool`` (worker died: segfault,
+   ``os._exit``, OOM kill) triggers a pool respawn.  The executor cannot
+   say *which* worker died, so retry budget is charged only when guilt
+   is unambiguous — exactly one in-flight chunk was lost to the death.
+   When several chunks were lost together, all of them become
+   *suspects* and are re-executed one at a time in a fresh pool, so the
+   next death names its culprit.  A guilty multi-sample chunk is then
+   *bisected*: split in half and both halves re-run in isolation, so
+   the poison sample is cornered in O(log chunk) pool respawns while
+   every innocent sample completes normally.  A single-sample chunk
+   that keeps killing workers is quarantined.
+
+The supervisor is deliberately generic: it executes a picklable
+``evaluate`` callable over :class:`WorkItem`\\ s and neither imports nor
+knows about the figure drivers.  Worker processes are always created with
+the **spawn** start method, so worker behaviour (fresh imports, no
+inherited memoization epochs or perf-counter state, no accidentally
+shared fault flags) and all recovery semantics are identical on Linux and
+macOS; ``fork`` would also duplicate the parent's signal handlers and
+journal file descriptors into the children.
+
+Completed items are checkpointed to an optional
+:class:`~repro.experiments.journal.RunJournal` the moment their chunk
+returns, and SIGINT/SIGTERM are converted into a clean
+:class:`~repro.errors.SweepInterrupted` after the journal is flushed, so
+an interrupted campaign resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import signal
+import sys
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SweepInterrupted
+from repro.experiments.config import SweepSettings
+from repro.experiments.journal import RunJournal
+from repro.perf import PerfCounters, merge_global
+from repro.verify.faults import SweepFault, trigger_sweep_fault
+
+#: Journal/result key of one work item: ``(point_index, sample_index)``.
+ItemKey = Tuple[int, int]
+
+#: ``(weight, per-variant verdicts)`` — the raw payload of one outcome.
+ItemResult = Tuple[float, Tuple[bool, ...]]
+
+#: Upper bound on any single backoff sleep, seconds.
+BACKOFF_CAP = 2.0
+
+#: Poll granularity of the supervision loop, seconds.  Bounds both the
+#: watchdog's detection latency and the reaction time to SIGINT/SIGTERM.
+_WAIT_TICK = 0.2
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One flattened ``(point, sample)`` unit of sweep work."""
+
+    point: int
+    sample: int
+    utilization: float
+    seed: int
+
+    @property
+    def key(self) -> ItemKey:
+        """Journal/result key of this item."""
+        return (self.point, self.sample)
+
+
+@dataclass(frozen=True)
+class SampleFailure:
+    """A quarantined work item and everything needed to reproduce it.
+
+    ``kind`` is the failure taxonomy used throughout the resilience layer:
+    ``"exception"`` (the analysis raised), ``"crash"`` (the worker process
+    died) or ``"hang"`` (the chunk exceeded its wall-clock budget).  The
+    ``seed`` is a complete reproducer — re-running
+    ``evaluate_sample(platform, utilization, variants, generation, seed)``
+    deterministically rebuilds the poison task set.
+    """
+
+    point: int
+    sample: int
+    utilization: float
+    seed: int
+    kind: str
+    exception: str
+    message: str
+    traceback_digest: str
+    attempts: int
+
+    def to_record(self) -> Dict:
+        """Plain-dict form for the run journal."""
+        return {
+            "point": self.point,
+            "sample": self.sample,
+            "utilization": self.utilization,
+            "seed": self.seed,
+            "failure": self.kind,
+            "exception": self.exception,
+            "message": self.message,
+            "traceback_digest": self.traceback_digest,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "SampleFailure":
+        """Inverse of :meth:`to_record` (used on journal resume)."""
+        return cls(
+            point=int(record["point"]),
+            sample=int(record["sample"]),
+            utilization=float(record["utilization"]),
+            seed=int(record["seed"]),
+            kind=str(record.get("failure", "exception")),
+            exception=str(record.get("exception", "")),
+            message=str(record.get("message", "")),
+            traceback_digest=str(record.get("traceback_digest", "")),
+            attempts=int(record.get("attempts", 0)),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary with the reproducer seed."""
+        detail = f": {self.message}" if self.message else ""
+        return (
+            f"{self.kind} at point {self.point} sample {self.sample} "
+            f"(utilization {self.utilization}, reproducer seed {self.seed}, "
+            f"{self.attempts} attempt(s)) — {self.exception}{detail}"
+        )
+
+
+def _digest(text: str) -> str:
+    """Short stable digest used to correlate identical tracebacks."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def run_chunk(args):
+    """Evaluate one chunk of ``(item, attempt)`` pairs (worker side).
+
+    Top-level so it is picklable under the spawn start method.  Ordinary
+    exceptions are captured per sample — this function is the per-sample
+    isolation boundary — while crashes and hangs by their nature escape it
+    and are handled by the supervisor.  Returns the result list plus the
+    chunk's perf counters for the parent to merge.
+    """
+    evaluate, platform, variants, generation, chunk, fault = args
+    perf = PerfCounters()
+    results: List[Tuple] = []
+    for item, attempt in chunk:
+        try:
+            trigger_sweep_fault(fault, item.point, item.sample, attempt)
+            weight, verdicts = evaluate(
+                platform, item.utilization, variants, generation, item.seed, perf
+            )
+            results.append(("ok", item.key, weight, tuple(verdicts)))
+        except Exception as error:  # noqa: BLE001 — the isolation boundary
+            results.append(
+                (
+                    "err",
+                    item.key,
+                    type(error).__name__,
+                    str(error),
+                    _digest(traceback.format_exc()),
+                )
+            )
+    return results, perf
+
+
+def chunked(
+    items: Sequence[WorkItem], jobs: int
+) -> List[Tuple[WorkItem, ...]]:
+    """Split the flat item list into contiguous, load-balancing chunks.
+
+    A few chunks per worker smooths out the cost imbalance between easy
+    and hard samples without drowning the pool in per-item dispatch
+    overhead.
+    """
+    chunk_size = max(1, -(-len(items) // (max(jobs, 1) * 4)))
+    return [
+        tuple(items[start : start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+class SweepSupervisor:
+    """Resilient executor for one sweep's work items.
+
+    Parameters mirror the worker contract: ``evaluate`` must be a
+    module-level (picklable) callable with the signature
+    ``evaluate(platform, utilization, variants, generation, seed, perf)
+    -> (weight, verdicts)``.  ``journal`` (optional) receives every
+    completed or quarantined item as it happens; ``fault`` (optional)
+    carries a deterministic :class:`~repro.verify.faults.SweepFault` into
+    the workers for recovery-path testing.
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable,
+        platform,
+        variants,
+        generation,
+        settings: SweepSettings,
+        journal: Optional[RunJournal] = None,
+        fault: Optional[SweepFault] = None,
+    ) -> None:
+        self.evaluate = evaluate
+        self.platform = platform
+        self.variants = tuple(variants)
+        self.generation = generation
+        self.settings = settings
+        self.journal = journal
+        self.fault = fault
+        self._stop_signal: Optional[int] = None
+
+    # -- public entry point --------------------------------------------------
+
+    def run(
+        self, items: Sequence[WorkItem]
+    ) -> Tuple[Dict[ItemKey, ItemResult], List[SampleFailure]]:
+        """Execute ``items``, returning completed results and quarantines.
+
+        Completed results map ``(point, sample)`` to ``(weight,
+        verdicts)``; the failure list holds one :class:`SampleFailure` per
+        quarantined item.  Raises
+        :class:`~repro.errors.SweepInterrupted` on SIGINT/SIGTERM after
+        flushing the journal.
+        """
+        if not items:
+            return {}, []
+        with self._interruptible():
+            if self.settings.jobs == 1:
+                return self._run_inline(items)
+            return self._run_supervised(items)
+
+    # -- inline execution (jobs == 1) ----------------------------------------
+
+    def _run_inline(
+        self, items: Sequence[WorkItem]
+    ) -> Tuple[Dict[ItemKey, ItemResult], List[SampleFailure]]:
+        """Sequential execution with per-sample isolation and retries.
+
+        No hang watchdog and no crash recovery are possible in-process;
+        use ``jobs >= 2`` for full supervision.
+        """
+        completed: Dict[ItemKey, ItemResult] = {}
+        failures: List[SampleFailure] = []
+        attempts: Dict[ItemKey, int] = {item.key: 0 for item in items}
+        queue: Deque[WorkItem] = deque(items)
+        perf = PerfCounters()
+        while queue:
+            self._check_interrupt()
+            item = queue.popleft()
+            attempt = attempts[item.key]
+            try:
+                trigger_sweep_fault(self.fault, item.point, item.sample, attempt)
+                weight, verdicts = self.evaluate(
+                    self.platform,
+                    item.utilization,
+                    self.variants,
+                    self.generation,
+                    item.seed,
+                    perf,
+                )
+            except Exception as error:  # noqa: BLE001 — isolation boundary
+                attempts[item.key] += 1
+                if attempts[item.key] > self.settings.retries:
+                    self._quarantine(
+                        item,
+                        "exception",
+                        type(error).__name__,
+                        str(error),
+                        _digest(traceback.format_exc()),
+                        attempts[item.key],
+                        failures,
+                    )
+                else:
+                    time.sleep(self._backoff_delay(attempts[item.key]))
+                    queue.append(item)
+            else:
+                self._complete(item.key, weight, tuple(verdicts), completed)
+        merge_global(perf)
+        return completed, failures
+
+    # -- supervised parallel execution ---------------------------------------
+
+    def _run_supervised(
+        self, items: Sequence[WorkItem]
+    ) -> Tuple[Dict[ItemKey, ItemResult], List[SampleFailure]]:
+        completed: Dict[ItemKey, ItemResult] = {}
+        failures: List[SampleFailure] = []
+        attempts: Dict[ItemKey, int] = {item.key: 0 for item in items}
+        by_key: Dict[ItemKey, WorkItem] = {item.key: item for item in items}
+        ready: Deque[Tuple[WorkItem, ...]] = deque(chunked(items, self.settings.jobs))
+        # Chunks implicated in an ambiguous pool death: re-run one at a
+        # time (nothing else in flight) so the next death names its culprit.
+        suspects: Deque[Tuple[WorkItem, ...]] = deque()
+        delayed: List[Tuple[float, int, Tuple[WorkItem, ...]]] = []
+        tiebreak = itertools.count()
+        executor = self._new_executor()
+        futures: Dict = {}
+        try:
+            while ready or suspects or delayed or futures:
+                self._check_interrupt()
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, chunk = heapq.heappop(delayed)
+                    ready.append(chunk)
+                broken = False
+                broken_chunks: List[Tuple[WorkItem, ...]] = []
+                # Keep at most ``jobs`` chunks in flight so a submitted
+                # chunk starts running immediately and the watchdog clock
+                # (measured from submission) reflects actual run time.
+                while len(futures) < self.settings.jobs:
+                    solo = bool(suspects)
+                    if solo:
+                        if futures:
+                            break  # drain the pool before isolating one
+                        chunk = suspects.popleft()
+                    elif ready:
+                        chunk = ready.popleft()
+                    else:
+                        break
+                    payload = tuple(
+                        (item, attempts[item.key]) for item in chunk
+                    )
+                    try:
+                        future = executor.submit(
+                            run_chunk,
+                            (
+                                self.evaluate,
+                                self.platform,
+                                self.variants,
+                                self.generation,
+                                payload,
+                                self.fault,
+                            ),
+                        )
+                    except BrokenProcessPool:
+                        (suspects if solo else ready).appendleft(chunk)
+                        broken = True
+                        break
+                    futures[future] = (chunk, time.monotonic())
+                    if solo:
+                        break  # exactly one suspect in flight
+                if not broken and not futures:
+                    # Everything is waiting out a backoff delay.
+                    pause = max(0.0, delayed[0][0] - time.monotonic())
+                    time.sleep(min(pause, _WAIT_TICK))
+                    continue
+                if not broken:
+                    done, _ = wait(
+                        set(futures),
+                        timeout=_WAIT_TICK,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        chunk, _submitted = futures.pop(future)
+                        broken |= not self._absorb_future(
+                            future,
+                            chunk,
+                            completed,
+                            failures,
+                            attempts,
+                            by_key,
+                            delayed,
+                            tiebreak,
+                            broken_chunks,
+                        )
+                if broken:
+                    executor = self._recover_broken_pool(
+                        executor,
+                        futures,
+                        broken_chunks,
+                        completed,
+                        failures,
+                        attempts,
+                        by_key,
+                        suspects,
+                        delayed,
+                        tiebreak,
+                    )
+                    continue
+                if self.settings.timeout is not None:
+                    executor = self._enforce_timeout(
+                        executor,
+                        futures,
+                        completed,
+                        failures,
+                        attempts,
+                        by_key,
+                        ready,
+                        delayed,
+                        tiebreak,
+                    )
+        finally:
+            self._kill_executor(executor)
+        return completed, failures
+
+    # -- helpers -------------------------------------------------------------
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        # Spawn, explicitly: identical worker semantics on Linux/macOS and
+        # no inherited signal handlers, fault flags or journal handles.
+        return ProcessPoolExecutor(
+            max_workers=self.settings.jobs, mp_context=get_context("spawn")
+        )
+
+    @staticmethod
+    def _kill_executor(executor: ProcessPoolExecutor) -> None:
+        """Forcibly stop an executor, terminating hung workers if needed.
+
+        ``shutdown`` alone never returns while a worker is hung; there is
+        no public kill switch, so this reaches for the internal process
+        map (stable across CPython 3.9-3.13) with a guard.
+        """
+        processes = getattr(executor, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                process.terminate()
+        executor.shutdown(wait=True, cancel_futures=True)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Capped exponential backoff before the ``attempt``-th retry."""
+        return min(self.settings.backoff * (2 ** (attempt - 1)), BACKOFF_CAP)
+
+    def _complete(
+        self,
+        key: ItemKey,
+        weight: float,
+        verdicts: Tuple[bool, ...],
+        completed: Dict[ItemKey, ItemResult],
+    ) -> None:
+        completed[key] = (weight, verdicts)
+        if self.journal is not None:
+            self.journal.record_sample(key[0], key[1], weight, verdicts)
+
+    def _quarantine(
+        self,
+        item: WorkItem,
+        kind: str,
+        exception: str,
+        message: str,
+        digest: str,
+        attempts: int,
+        failures: List[SampleFailure],
+    ) -> None:
+        failure = SampleFailure(
+            point=item.point,
+            sample=item.sample,
+            utilization=item.utilization,
+            seed=item.seed,
+            kind=kind,
+            exception=exception,
+            message=message,
+            traceback_digest=digest,
+            attempts=attempts,
+        )
+        failures.append(failure)
+        if self.journal is not None:
+            self.journal.record_failure(failure.to_record())
+        print(
+            f"repro-experiments: warning: quarantined {failure.describe()}",
+            file=sys.stderr,
+        )
+
+    def _retry_or_quarantine(
+        self,
+        item: WorkItem,
+        kind: str,
+        exception: str,
+        message: str,
+        digest: str,
+        attempts: Dict[ItemKey, int],
+        failures: List[SampleFailure],
+        delayed: List,
+        tiebreak,
+    ) -> None:
+        """Account one failed execution of ``item`` and decide its fate."""
+        attempts[item.key] += 1
+        if attempts[item.key] > self.settings.retries:
+            self._quarantine(
+                item, kind, exception, message, digest, attempts[item.key], failures
+            )
+        else:
+            not_before = time.monotonic() + self._backoff_delay(attempts[item.key])
+            heapq.heappush(delayed, (not_before, next(tiebreak), (item,)))
+
+    def _absorb_future(
+        self,
+        future,
+        chunk: Tuple[WorkItem, ...],
+        completed: Dict[ItemKey, ItemResult],
+        failures: List[SampleFailure],
+        attempts: Dict[ItemKey, int],
+        by_key: Dict[ItemKey, WorkItem],
+        delayed: List,
+        tiebreak,
+        broken_chunks: List[Tuple[WorkItem, ...]],
+    ) -> bool:
+        """Fold one finished future into the run state.
+
+        Returns ``False`` when the future died with the pool — its chunk
+        is parked in ``broken_chunks`` for the caller's crash recovery,
+        which decides guilt from how many chunks died together.  Returns
+        ``True`` otherwise.
+        """
+        try:
+            results, perf = future.result()
+        except BrokenProcessPool:
+            broken_chunks.append(chunk)
+            return False
+        except Exception as error:  # noqa: BLE001 — infrastructure failure
+            # Not a pool death (e.g. the chunk payload failed to pickle):
+            # the pool is still alive, so recover just this chunk.
+            self._recover_chunk(
+                chunk, "crash", attempts, failures, None, delayed, tiebreak,
+                message=f"{type(error).__name__}: {error}",
+            )
+            return True
+        merge_global(perf)
+        for result in results:
+            if result[0] == "ok":
+                _, key, weight, verdicts = result
+                self._complete(key, weight, verdicts, completed)
+            else:
+                _, key, exception, message, digest = result
+                self._retry_or_quarantine(
+                    by_key[key],
+                    "exception",
+                    exception,
+                    message,
+                    digest,
+                    attempts,
+                    failures,
+                    delayed,
+                    tiebreak,
+                )
+        return True
+
+    def _recover_chunk(
+        self,
+        chunk: Tuple[WorkItem, ...],
+        kind: str,
+        attempts: Dict[ItemKey, int],
+        failures: List[SampleFailure],
+        target: Optional[Deque],
+        delayed: List,
+        tiebreak,
+        message: str = "",
+    ) -> None:
+        """Bisect-or-quarantine rule for a chunk guilty of a crash or hang.
+
+        A multi-item chunk is split in half (no retry budget consumed —
+        innocent samples must not be punished for sharing a chunk with a
+        poison one) and both halves go to ``target`` (the suspects queue
+        for crashes, so they re-run in isolation; the ready queue for
+        hangs, where per-future deadlines keep guilt unambiguous); a
+        single-item chunk consumes one retry and is eventually
+        quarantined with ``kind``.
+        """
+        if len(chunk) > 1:
+            mid = len(chunk) // 2
+            for half in (chunk[:mid], chunk[mid:]):
+                if target is not None:
+                    target.append(half)
+                else:
+                    heapq.heappush(
+                        delayed, (time.monotonic(), next(tiebreak), half)
+                    )
+            return
+        exception = "WorkerCrashError" if kind == "crash" else "ChunkTimeoutError"
+        default_message = (
+            "worker process died while evaluating this sample"
+            if kind == "crash"
+            else f"chunk exceeded the {self.settings.timeout}s wall-clock budget"
+        )
+        self._retry_or_quarantine(
+            chunk[0],
+            kind,
+            exception,
+            message or default_message,
+            "",
+            attempts,
+            failures,
+            delayed,
+            tiebreak,
+        )
+
+    def _recover_broken_pool(
+        self,
+        executor: ProcessPoolExecutor,
+        futures: Dict,
+        broken_chunks: List[Tuple[WorkItem, ...]],
+        completed: Dict[ItemKey, ItemResult],
+        failures: List[SampleFailure],
+        attempts: Dict[ItemKey, int],
+        by_key: Dict[ItemKey, WorkItem],
+        suspects: Deque,
+        delayed: List,
+        tiebreak,
+    ) -> ProcessPoolExecutor:
+        """Drain a broken pool, attribute guilt, and respawn it.
+
+        Chunks that still completed are absorbed normally.  If exactly
+        one chunk was lost to the death, guilt is unambiguous and it goes
+        through the bisect-or-quarantine rule; if several were lost
+        together, the executor cannot say which worker died, so all of
+        them become suspects — re-executed one at a time, uncharged, so
+        innocent samples are never punished for sharing a pool with a
+        poison one.
+        """
+        for future, (chunk, _submitted) in list(futures.items()):
+            self._absorb_future(
+                future, chunk, completed, failures, attempts, by_key,
+                delayed, tiebreak, broken_chunks,
+            )
+        futures.clear()
+        executor.shutdown(wait=False, cancel_futures=True)
+        if len(broken_chunks) == 1:
+            self._recover_chunk(
+                broken_chunks[0], "crash", attempts, failures, suspects,
+                delayed, tiebreak,
+            )
+        else:
+            suspects.extend(broken_chunks)
+        broken_chunks.clear()
+        return self._new_executor()
+
+    def _enforce_timeout(
+        self,
+        executor: ProcessPoolExecutor,
+        futures: Dict,
+        completed: Dict[ItemKey, ItemResult],
+        failures: List[SampleFailure],
+        attempts: Dict[ItemKey, int],
+        by_key: Dict[ItemKey, WorkItem],
+        ready: Deque,
+        delayed: List,
+        tiebreak,
+    ) -> ProcessPoolExecutor:
+        """Kill the pool if any in-flight chunk exceeded its budget."""
+        now = time.monotonic()
+        overdue = {
+            future
+            for future, (_chunk, submitted) in futures.items()
+            if now - submitted > self.settings.timeout
+        }
+        if not overdue:
+            return executor
+        self._kill_executor(executor)
+        for future, (chunk, _submitted) in list(futures.items()):
+            if future in overdue:
+                self._recover_chunk(
+                    chunk, "hang", attempts, failures, ready, delayed, tiebreak
+                )
+            elif future.done() and future.exception() is None:
+                # Completed in the window between the wait and the kill.
+                self._absorb_future(
+                    future, chunk, completed, failures, attempts, by_key,
+                    delayed, tiebreak, [],
+                )
+            else:
+                # Innocent collateral of the pool kill: resubmit as-is.
+                ready.append(chunk)
+        futures.clear()
+        return self._new_executor()
+
+    # -- interrupt handling ---------------------------------------------------
+
+    @contextmanager
+    def _interruptible(self) -> Iterator[None]:
+        """Convert SIGINT/SIGTERM into a polled stop flag for the run.
+
+        Only possible from the main thread; elsewhere the default signal
+        behaviour is left untouched.
+        """
+        self._stop_signal = None
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+        previous = {}
+
+        def _handler(signum, _frame):
+            self._stop_signal = signum
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, _handler)
+        try:
+            yield
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+    def _check_interrupt(self) -> None:
+        if self._stop_signal is None:
+            return
+        name = signal.Signals(self._stop_signal).name
+        if self.journal is not None:
+            hint = (
+                f"journal flushed to {self.journal.path}; "
+                f"re-run with --resume to continue"
+            )
+        else:
+            hint = "partial results discarded (no --journal directory was given)"
+        raise SweepInterrupted(f"sweep interrupted by {name}; {hint}")

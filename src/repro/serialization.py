@@ -37,6 +37,26 @@ _WCRT_TAG = "repro-wcrt-result"
 PathLike = Union[str, Path]
 
 
+def canonical_json(document) -> str:
+    """Canonical JSON text of a plain document: one line, sorted keys.
+
+    The byte sequence is a pure function of the document's *value* —
+    independent of dict insertion order and Python version — so it is safe
+    to hash for content addressing and run fingerprints (see
+    :func:`repro.experiments.journal.sweep_fingerprint`).  ``NaN`` and
+    infinities are rejected: they would not round-trip through strict JSON
+    parsers and a fingerprint must never be ambiguous.
+    """
+    try:
+        return json.dumps(
+            document, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as error:
+        raise ModelError(
+            f"document is not canonically serialisable: {error}"
+        ) from error
+
+
 def platform_to_dict(platform: Platform) -> Dict:
     """Plain-dict form of a platform."""
     return {

@@ -65,3 +65,85 @@ class TestCli:
         output = capsys.readouterr().out
         assert "Performance profile:" in output
         assert "inner iterations" in output
+
+
+def _figure_lines(text):
+    """Report lines without the wall-clock timing footers."""
+    return [line for line in text.splitlines() if not line.startswith("[")]
+
+
+class TestResilienceCli:
+    def test_journal_then_resume_is_bit_identical(self, capsys, tmp_path):
+        assert main(["fig2", "--samples", "2"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["fig2", "--samples", "2", "--journal", str(tmp_path)]) == 0
+        journaled = capsys.readouterr().out
+        assert (
+            main(
+                ["fig2", "--samples", "2", "--journal", str(tmp_path), "--resume"]
+            )
+            == 0
+        )
+        resumed = capsys.readouterr().out
+        assert _figure_lines(journaled) == _figure_lines(plain)
+        assert _figure_lines(resumed) == _figure_lines(plain)
+
+    def test_nonempty_journal_without_resume_is_refused(self, capsys, tmp_path):
+        assert main(["fig2", "--samples", "2", "--journal", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["fig2", "--samples", "2", "--journal", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "repro-experiments: error:" in err and "--resume" in err
+
+    def test_resume_without_journal_is_refused(self, capsys):
+        assert main(["fig2", "--samples", "2", "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "--resume requires a --journal" in err
+
+    def test_invalid_timeout_reports_clean_error(self, capsys):
+        assert main(["fig2", "--samples", "2", "--timeout", "-5"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-experiments: error:" in err and "timeout" in err
+
+    def test_invalid_retries_reports_clean_error(self, capsys):
+        assert main(["fig2", "--samples", "2", "--retries", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "retries" in err
+
+    def test_unknown_inject_reports_clean_error(self, capsys):
+        assert main(["fig2", "--samples", "2", "--inject", "meteor"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-experiments: error:" in err
+
+    def test_injected_flaky_sample_output_matches_clean_run(self, capsys):
+        # The transient fault is retried away: same report, full coverage.
+        assert main(["fig2", "--samples", "2"]) == 0
+        clean = capsys.readouterr().out
+        assert (
+            main(["fig2", "--samples", "2", "--inject", "flaky-sample"]) == 0
+        )
+        injected = capsys.readouterr().out
+        assert _figure_lines(injected) == _figure_lines(clean)
+        assert "Coverage:" not in injected
+
+    def test_injected_crash_is_quarantined_and_reported(self, capsys):
+        assert (
+            main(
+                [
+                    "fig2",
+                    "--samples",
+                    "2",
+                    "--jobs",
+                    "2",
+                    "--retries",
+                    "1",
+                    "--inject",
+                    "crash-sample",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "Coverage:" in captured.out
+        assert "1 quarantined" in captured.out
+        assert "quarantined crash at point 0 sample 0" in captured.err

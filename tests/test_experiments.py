@@ -54,6 +54,28 @@ class TestConfig:
         with pytest.raises(AnalysisError):
             SweepSettings(utilizations=())
 
+    def test_settings_reject_degenerate_utilizations(self):
+        with pytest.raises(AnalysisError, match="utilisation"):
+            SweepSettings(utilizations=(0.2, float("nan")))
+        with pytest.raises(AnalysisError, match="utilisation"):
+            SweepSettings(utilizations=(0.2, float("inf")))
+        with pytest.raises(AnalysisError, match="utilisation"):
+            SweepSettings(utilizations=(0.2, 0.0))
+        with pytest.raises(AnalysisError, match="utilisation"):
+            SweepSettings(utilizations=(-0.5,))
+
+    def test_settings_reject_bad_supervision_parameters(self):
+        with pytest.raises(AnalysisError, match="timeout"):
+            SweepSettings(timeout=0.0)
+        with pytest.raises(AnalysisError, match="timeout"):
+            SweepSettings(timeout=float("nan"))
+        with pytest.raises(AnalysisError, match="retries"):
+            SweepSettings(retries=-1)
+        with pytest.raises(AnalysisError, match="backoff"):
+            SweepSettings(backoff=-0.1)
+        # The defaults and explicit sane values pass.
+        SweepSettings(timeout=10.0, retries=0, backoff=0.0)
+
     def test_jobs_zero_resolves_to_cpu_count(self):
         import os
 
@@ -112,6 +134,26 @@ class TestRunner:
     def test_max_gap(self):
         ratios = {"A": [0.9, 0.5], "B": [0.4, 0.45]}
         assert max_gap(ratios, "A", "B") == pytest.approx(0.5)
+
+    def test_ratios_of_empty_grid_is_typed_error(self):
+        variants = standard_variants(include_perfect=False)[:2]
+        with pytest.raises(AnalysisError, match="empty utilisation grid"):
+            schedulability_ratios({}, variants)
+
+    def test_ratios_of_fully_quarantined_point_is_typed_error(self):
+        variants = standard_variants(include_perfect=False)[:2]
+        outcomes = run_curve(default_platform(), variants, TINY)
+        outcomes[0.4] = []  # every sample at this point was quarantined
+        with pytest.raises(AnalysisError, match="no surviving samples"):
+            schedulability_ratios(outcomes, variants)
+
+    def test_max_gap_over_empty_series_is_typed_error(self):
+        with pytest.raises(AnalysisError, match="empty ratio series"):
+            max_gap({"A": [], "B": []}, "A", "B")
+
+    def test_max_gap_over_unknown_label_is_typed_error(self):
+        with pytest.raises(AnalysisError, match="unknown variant label"):
+            max_gap({"A": [0.5]}, "A", "missing")
 
 
 class TestFig2:
@@ -200,6 +242,25 @@ class TestReport:
     def test_format_rows(self):
         text = format_rows("T", ("a", "b"), [(1, 2), (30, 40)])
         assert "30" in text and "b" in text
+
+    def test_format_coverage_lists_quarantines(self):
+        from repro.experiments.report import format_coverage
+        from repro.experiments.supervisor import SampleFailure
+
+        failure = SampleFailure(
+            point=1,
+            sample=2,
+            utilization=0.4,
+            seed=123,
+            kind="crash",
+            exception="WorkerCrashError",
+            message="worker died",
+            traceback_digest="",
+            attempts=3,
+        )
+        text = format_coverage(7, 8, [failure])
+        assert "7/8" in text and "87.5%" in text
+        assert "reproducer seed 123" in text
 
 
 class TestParallelRunner:
