@@ -1,0 +1,141 @@
+"""Benchmark regression gate: run the micro benches once, compare medians.
+
+CI's ``bench-smoke`` job runs this script.  It executes the micro
+benchmark module a single time (pytest-benchmark's auto-calibration still
+takes multiple rounds per test, so the median is meaningful), then
+compares the median of every gated benchmark against the baselines
+committed in ``benchmarks/thresholds.json``:
+
+* a benchmark fails the gate only when its median exceeds ``factor``
+  (default 3x) times the committed baseline — CI runners are noisy and a
+  sub-3x wobble is indistinguishable from machine variance, so the gate
+  only catches genuine regressions (an accidentally disabled cache, a
+  quadratic slip, the bitmask kernel falling back to set algebra);
+* benchmarks missing from the report fail the gate (a silently skipped
+  bench is itself a regression);
+* ``--update`` rewrites the baseline medians from a fresh run instead of
+  gating, for use after deliberate performance changes.
+
+Exit code 0 = within bounds, 1 = regression, 2 = harness failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+THRESHOLDS = REPO_ROOT / "benchmarks" / "thresholds.json"
+BENCH_MODULE = "benchmarks/test_bench_micro.py"
+
+
+def run_benchmarks(json_path: Path) -> None:
+    """One pass of the micro benchmark module, writing a JSON report."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        BENCH_MODULE,
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+        "-q",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"benchmark run failed with exit code {completed.returncode}"
+        )
+
+
+def report_medians(json_path: Path) -> Dict[str, float]:
+    document = json.loads(json_path.read_text())
+    return {
+        bench["name"]: float(bench["stats"]["median"])
+        for bench in document.get("benchmarks", ())
+    }
+
+
+def gate(medians: Dict[str, float], thresholds: dict) -> int:
+    factor = float(thresholds.get("factor", 3.0))
+    failures = []
+    for name, baseline in thresholds["medians"].items():
+        measured = medians.get(name)
+        if measured is None:
+            failures.append(f"{name}: benchmark missing from the report")
+            continue
+        limit = factor * float(baseline)
+        ratio = measured / float(baseline)
+        verdict = "FAIL" if measured > limit else "ok"
+        print(
+            f"  {name:<32} median {measured * 1e3:8.3f} ms   "
+            f"baseline {float(baseline) * 1e3:8.3f} ms   "
+            f"{ratio:5.2f}x (limit {factor:.1f}x)   {verdict}"
+        )
+        if measured > limit:
+            failures.append(
+                f"{name}: median {measured:.6f}s exceeds "
+                f"{factor:.1f}x baseline {float(baseline):.6f}s"
+            )
+    if failures:
+        print("bench-smoke: FAIL")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("bench-smoke: PASS")
+    return 0
+
+
+def update(medians: Dict[str, float], thresholds: dict) -> int:
+    for name in thresholds["medians"]:
+        if name not in medians:
+            print(f"bench-smoke: {name} missing from the report", file=sys.stderr)
+            return 2
+        thresholds["medians"][name] = round(medians[name], 6)
+    THRESHOLDS.write_text(json.dumps(thresholds, indent=2) + "\n")
+    print(f"updated {THRESHOLDS}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the micro benchmarks once and gate (or --update) "
+        "the committed baseline medians."
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite benchmarks/thresholds.json from this run instead of "
+        "gating against it",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="gate an existing pytest-benchmark JSON report instead of "
+        "running the benchmarks",
+    )
+    args = parser.parse_args()
+    thresholds = json.loads(THRESHOLDS.read_text())
+    try:
+        if args.report is not None:
+            medians = report_medians(args.report)
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                json_path = Path(tmp) / "bench.json"
+                run_benchmarks(json_path)
+                medians = report_medians(json_path)
+    except (RuntimeError, OSError, json.JSONDecodeError, KeyError) as error:
+        print(f"bench-smoke: harness failure: {error}", file=sys.stderr)
+        return 2
+    if args.update:
+        return update(medians, thresholds)
+    return gate(medians, thresholds)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

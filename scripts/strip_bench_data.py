@@ -1,0 +1,62 @@
+"""Strip raw per-round timing arrays from a pytest-benchmark JSON report.
+
+pytest-benchmark's ``--benchmark-json`` output stores every individual
+round measurement in ``benchmarks[].stats.data``.  For a checked-in
+artifact like ``BENCH_micro.json`` those arrays are pure noise: they
+dominate the file size, churn on every regeneration, and everything the
+repository consumes (the ``bench-smoke`` regression gate, the numbers
+quoted in docs) reads only the summary statistics, which pytest-benchmark
+computes before serialising.  This script drops the arrays in place::
+
+    python scripts/strip_bench_data.py BENCH_micro.json
+
+Typical regeneration flow::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_micro.py \\
+        --benchmark-only --benchmark-json=BENCH_micro.json
+    python scripts/strip_bench_data.py BENCH_micro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+
+def strip_report(document: dict) -> int:
+    """Remove ``stats.data`` from every benchmark entry, in place.
+
+    Returns the number of measurements dropped.  Summary statistics
+    (median, mean, stddev, rounds, ...) are left untouched.
+    """
+    dropped = 0
+    for bench in document.get("benchmarks", ()):
+        stats = bench.get("stats")
+        if isinstance(stats, dict) and "data" in stats:
+            dropped += len(stats["data"])
+            del stats["data"]
+    return dropped
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Drop raw per-round data arrays from pytest-benchmark "
+        "JSON reports, keeping only the summary statistics."
+    )
+    parser.add_argument(
+        "reports", nargs="+", type=Path, help="report file(s) to strip in place"
+    )
+    args = parser.parse_args(argv)
+    for path in args.reports:
+        document = json.loads(path.read_text())
+        dropped = strip_report(document)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"{path}: dropped {dropped} raw measurements")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

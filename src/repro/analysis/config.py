@@ -36,6 +36,25 @@ class AnalysisConfig:
             read.  Bit-identical results either way — the un-memoized path
             exists as the reference for the differential correctness test
             and costs a multiple of the run time.
+        bitset_kernel: evaluate the cache-set intersection/union terms
+            (Eq. 2 CRPD, Eq. 14 CPRO, the multiset refinements) from the
+            task set's precompiled
+            :class:`~repro.model.interference.InterferenceTable` as packed
+            integer AND+popcount operations instead of ``frozenset``
+            algebra.  Bit-identical results either way — the set-based
+            path is retained as the reference for the ``bitset-identity``
+            differential oracle of :mod:`repro.verify`.
+        warm_start: seed each task's response-time iteration from the
+            converged estimates of a previous analysis of the *same*
+            (task set, platform, config) triple, re-verifying the fixed
+            point instead of re-deriving it from the cold isolated-WCET
+            seeds.  Monotonicity of Eq. (19) makes re-verification exact:
+            a converged map passes one outer round unchanged; any change
+            (non-convergence) falls back to a cold run.  Results are
+            bit-identical to a cold run except for ``outer_iterations``
+            in the perf counters.  Seeds are only kept for schedulable
+            results — an unschedulable run leaves a partially-refined map
+            whose replay would not be order-independent.
     """
 
     persistence: bool = True
@@ -46,6 +65,8 @@ class AnalysisConfig:
     max_outer_iterations: int = 64
     max_inner_iterations: int = 4096
     memoization: bool = True
+    bitset_kernel: bool = True
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         if self.max_outer_iterations <= 0:

@@ -235,12 +235,19 @@ def decompose_taskset(
     """
     if result is None:
         result = analyze_taskset(taskset, platform, config)
+    # Reuse the task set's shared calculators (same kernel as the analysis
+    # run) so the decomposition re-evaluates the recurrence from the very
+    # caches the fixed point warmed up.
     ctx = AnalysisContext(
         taskset=taskset,
         platform=platform,
         persistence=config.persistence,
-        crpd=CrpdCalculator(taskset, config.crpd_approach),
-        cpro=CproCalculator(taskset, config.cpro_approach),
+        crpd=CrpdCalculator.shared(
+            taskset, config.crpd_approach, config.bitset_kernel
+        ),
+        cpro=CproCalculator.shared(
+            taskset, config.cpro_approach, config.bitset_kernel
+        ),
         persistence_in_low=config.persistence_in_low,
         tdma_slot_alignment=config.tdma_slot_alignment,
     )

@@ -48,7 +48,11 @@ def check_schedulability(
     """Full schedulability verdict with the underlying WCRT result.
 
     ``perf`` optionally accumulates the analysis' performance counters
-    into a caller-owned aggregate (see :mod:`repro.perf`).
+    into a caller-owned aggregate (see :mod:`repro.perf`).  Repeat calls
+    with the same (task set, platform, config) reuse the task set's shared
+    interference table, calculator caches and warm-start seeds (see
+    :func:`repro.analysis.wcrt.analyze_taskset`), so re-checking a verdict
+    is much cheaper than the first check — and bit-identical to it.
     """
     d_mem = platform.d_mem
 

@@ -106,8 +106,16 @@ class AnalysisContext:
         # the current response-time estimates.  Pure functions of the task
         # set, the two approach enums and ``d_mem``, so they are shared
         # across every context analysing the same task set (kept warm
-        # between runs and across sweep variants).
-        approaches = (self.crpd.approach, self.cpro.approach)
+        # between runs and across sweep variants).  The kernel flags are
+        # part of the key: rows built from the bitmask kernel must never be
+        # reused by the reference path (or vice versa), else the
+        # ``bitset-identity`` oracle would compare a value against itself.
+        approaches = (
+            self.crpd.approach,
+            self.crpd.bitset,
+            self.cpro.approach,
+            self.cpro.bitset,
+        )
         self._bas_rows: Dict[int, tuple] = self.taskset.derived(
             ("bas-rows",) + approaches, dict
         )

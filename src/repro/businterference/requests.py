@@ -86,7 +86,13 @@ def _bas_rows(ctx: AnalysisContext, task_i: Task) -> tuple:
     One row per same-core higher-priority task ``task_j``:
     ``(task_j, period, md, md_r, |PCB|, gamma(i, j), evictable_pcbs(j, i))``.
     Every entry is constant for the lifetime of the context, so the BAS
-    evaluation in the fixed point reduces to integer arithmetic over rows.
+    evaluation in the fixed point reduces to integer arithmetic over rows —
+    the closed-form demand below mirrors
+    :func:`repro.persistence.demand.multi_job_demand_from_params`.  The
+    ``gamma`` / ``evictable`` entries come from whichever cache-set kernel
+    (bitmask or ``frozenset`` reference) the context's calculators run, so
+    the backing store is keyed by the kernel flags (see
+    :class:`~repro.businterference.context.AnalysisContext`).
     """
     rows = ctx._bas_rows.get(task_i.priority)
     if rows is None:
@@ -199,8 +205,9 @@ def _w_rows(ctx: AnalysisContext, task_k: Task, core_y: int, lower: bool) -> tup
     md + gamma, isolated_wcrt)``.  The last entry is the estimate the outer
     loop starts every task from, so the hot loop can resolve :math:`R_l`
     with a plain dict probe.  Rows are pure functions of the task set, the
-    approach enums and ``d_mem``, so they are shared across contexts via
-    :meth:`~repro.model.task.TaskSet.derived`.
+    approach enums, the cache-set kernel flags and ``d_mem``, so they are
+    shared across contexts via :meth:`~repro.model.task.TaskSet.derived`
+    (one table per kernel — see the ``bitset-identity`` oracle).
     """
     key = (core_y, task_k.priority, lower)
     rows = ctx._w_rows.get(key)

@@ -25,9 +25,14 @@ multiplies by ``d_mem`` where needed.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
-from repro.crpd.multiset import multiset_pair_data, multiset_window_from_pairs
+from repro.crpd.multiset import (
+    multiset_pair_data,
+    multiset_pair_data_bitset,
+    multiset_window_from_pairs,
+)
+from repro.model.interference import InterferenceTable
 from repro.model.task import Task, TaskSet
 
 
@@ -97,43 +102,116 @@ _APPROACHES: Dict[CrpdApproach, Callable[[TaskSet, Task, Task], int]] = {
 }
 
 
+# -- bitmask kernel (AND + popcount over the interference table) ------------
+
+
+def _crpd_ecb_union_bitset(
+    table: InterferenceTable, taskset: TaskSet, task_i: Task, task_j: Task
+) -> int:
+    """Bitmask form of :func:`crpd_ecb_union` (Eq. 2)."""
+    core = task_j.core
+    affected = taskset.aff_on_core(task_i, task_j, core)
+    if not affected:
+        return 0
+    evicting = table.hep_ecb_mask(task_j, core)
+    ucb = table.ucb_mask
+    return max((ucb[t.priority] & evicting).bit_count() for t in affected)
+
+
+def _crpd_ucb_only_bitset(
+    table: InterferenceTable, taskset: TaskSet, task_i: Task, task_j: Task
+) -> int:
+    """UCB-only bound from cached popcounts (no intersection needed)."""
+    core = task_j.core
+    affected = taskset.aff_on_core(task_i, task_j, core)
+    if not affected:
+        return 0
+    ucb = table.ucb_mask
+    return max(ucb[t.priority].bit_count() for t in affected)
+
+
+def _crpd_ecb_only_bitset(
+    table: InterferenceTable, taskset: TaskSet, task_i: Task, task_j: Task
+) -> int:
+    """ECB-only bound from the preempting task's mask popcount."""
+    core = task_j.core
+    affected = taskset.aff_on_core(task_i, task_j, core)
+    if not affected:
+        return 0
+    return table.ecb_mask[task_j.priority].bit_count()
+
+
+_BITSET_APPROACHES: Dict[
+    CrpdApproach, Callable[[InterferenceTable, TaskSet, Task, Task], int]
+] = {
+    CrpdApproach.ECB_UNION: _crpd_ecb_union_bitset,
+    CrpdApproach.ECB_UNION_MULTISET: _crpd_ecb_union_bitset,
+    CrpdApproach.UCB_ONLY: _crpd_ucb_only_bitset,
+    CrpdApproach.ECB_ONLY: _crpd_ecb_only_bitset,
+    CrpdApproach.NONE: lambda table, taskset, task_i, task_j: 0,
+}
+
+
 class CrpdCalculator:
     """Memoising front-end over the CRPD approaches.
 
     The WCRT fixed point evaluates :math:`\\gamma_{i,j,x}` for the same task
     pairs at every iteration; the values only depend on the (static) task
     set, so they are computed once and cached.
+
+    With ``bitset=True`` (the default) :math:`\\gamma` and the multiset
+    pair data are evaluated from the task set's
+    :class:`~repro.model.interference.InterferenceTable` as AND+popcount
+    operations; ``bitset=False`` selects the retained ``frozenset``
+    reference path (``bitset-identity`` oracle of :mod:`repro.verify`).
     """
 
     def __init__(
         self,
         taskset: TaskSet,
         approach: CrpdApproach = CrpdApproach.ECB_UNION,
+        bitset: bool = True,
     ):
         self._taskset = taskset
         self._approach = approach
+        self._bitset = bitset
         self._fn = _APPROACHES[approach]
+        self._bitset_fn = _BITSET_APPROACHES[approach]
+        self._table: Optional[InterferenceTable] = (
+            InterferenceTable.shared(taskset) if bitset else None
+        )
         self._cache: Dict[Tuple[int, int], int] = {}
         self._multiset_cache: Dict[Tuple[int, int], Tuple[int, tuple]] = {}
 
     @classmethod
     def shared(
-        cls, taskset: TaskSet, approach: CrpdApproach = CrpdApproach.ECB_UNION
+        cls,
+        taskset: TaskSet,
+        approach: CrpdApproach = CrpdApproach.ECB_UNION,
+        bitset: bool = True,
     ) -> "CrpdCalculator":
-        """The task set's shared calculator for ``approach``.
+        """The task set's shared calculator for ``(approach, bitset)``.
 
         CRPD values are pure functions of the (immutable) task set, so one
-        calculator per (task set, approach) pair serves every analysis run
-        and keeps its pair cache warm across them.
+        calculator per (task set, approach, kernel) triple serves every
+        analysis run and keeps its pair cache warm across them.  The two
+        kernels do not share caches, keeping the differential oracle's
+        comparison independent.
         """
         return taskset.derived(
-            ("crpd-calculator", approach), lambda: cls(taskset, approach)
+            ("crpd-calculator", approach, bitset),
+            lambda: cls(taskset, approach, bitset),
         )
 
     @property
     def approach(self) -> CrpdApproach:
         """The CRPD approach this calculator applies."""
         return self._approach
+
+    @property
+    def bitset(self) -> bool:
+        """Whether this calculator runs on the bitmask kernel."""
+        return self._bitset
 
     def gamma(self, task_i: Task, task_j: Task) -> int:
         """CRPD (in memory requests) charged per preemption by ``task_j``.
@@ -145,7 +223,11 @@ class CrpdCalculator:
         """
         key = (task_i.priority, task_j.priority)
         if key not in self._cache:
-            self._cache[key] = self._fn(self._taskset, task_i, task_j)
+            if self._table is not None:
+                value = self._bitset_fn(self._table, self._taskset, task_i, task_j)
+            else:
+                value = self._fn(self._taskset, task_i, task_j)
+            self._cache[key] = value
         return self._cache[key]
 
     def multiset_window(
@@ -164,10 +246,13 @@ class CrpdCalculator:
         key = (task_i.priority, task_j.priority)
         data = self._multiset_cache.get(key)
         if data is None:
-            data = (
-                int(task_j.period),
-                multiset_pair_data(self._taskset, task_i, task_j),
-            )
+            if self._table is not None:
+                entries = multiset_pair_data_bitset(
+                    self._table, self._taskset, task_i, task_j
+                )
+            else:
+                entries = multiset_pair_data(self._taskset, task_i, task_j)
+            data = (int(task_j.period), entries)
             self._multiset_cache[key] = data
         period_j, entries = data
         return multiset_window_from_pairs(

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Callable, Tuple
 
+from repro.model.interference import InterferenceTable
 from repro.model.task import Task, TaskSet
 
 #: Static per-pair multiset data: ``(cost, period_g, task_g)`` triples for
@@ -63,6 +64,32 @@ def multiset_pair_data(
         (cost, int(task_g.period), task_g)
         for task_g in affected
         if (cost := len(task_g.ucbs & evicting)) > 0
+    ]
+    entries.sort(key=lambda entry: entry[0], reverse=True)
+    return tuple(entries)
+
+
+def multiset_pair_data_bitset(
+    table: InterferenceTable, taskset: TaskSet, task_i: Task, task_j: Task
+) -> MultisetPairData:
+    """Bitmask form of :func:`multiset_pair_data`.
+
+    The per-affected-task reload cost :math:`c_g` is one AND+popcount of
+    the cached UCB mask against the (priority, core)-cached evicting ECB
+    union.  Entry order matches the reference builder exactly: affected
+    tasks are enumerated in the same (priority) order and the sort is
+    stable, so ties resolve identically.
+    """
+    core = task_j.core
+    affected = taskset.aff_on_core(task_i, task_j, core)
+    if not affected:
+        return ()
+    evicting = table.hep_ecb_mask(task_j, core)
+    ucb = table.ucb_mask
+    entries = [
+        (cost, int(task_g.period), task_g)
+        for task_g in affected
+        if (cost := (ucb[task_g.priority] & evicting).bit_count()) > 0
     ]
     entries.sort(key=lambda entry: entry[0], reverse=True)
     return tuple(entries)

@@ -9,6 +9,11 @@ from repro.model.platform import (
     cycles_to_microseconds,
     microseconds_to_cycles,
 )
+from repro.model.interference import (
+    InterferenceTable,
+    blocks_to_mask,
+    mask_to_blocks,
+)
 from repro.model.task import (
     Task,
     TaskSet,
@@ -17,6 +22,9 @@ from repro.model.task import (
 )
 
 __all__ = [
+    "InterferenceTable",
+    "blocks_to_mask",
+    "mask_to_blocks",
     "BusPolicy",
     "CacheGeometry",
     "Platform",

@@ -1,0 +1,173 @@
+"""Packed-bitmask interference table over ECB/UCB/PCB cache-block sets.
+
+Every cardinality the analysis evaluates — the CPRO union bound of
+Eq. (14), the ECB-union CRPD of Eq. (2), the per-pair reload costs of the
+multiset refinement — is at bottom ``|A ∩ (B_1 ∪ ... ∪ B_k)|`` over sets of
+*cache set indices*.  Python ``frozenset`` algebra evaluates these with
+per-element hashing; the classic trick of the CRPD tooling lineage
+(Altmeyer & Davis's ECB/UCB analyses) is to pack each block set into an
+integer bitmask — bit ``b`` set iff cache set ``b`` is touched — so an
+intersection cardinality becomes one ``&`` plus one popcount
+(``int.bit_count()``), and a union over a task group becomes a fold of
+``|``.  Python's arbitrary-precision integers make this exact for any
+cache size: indices beyond 63 simply spill into further limbs of the same
+integer, so nothing special happens at the 64-bit word boundary.
+
+:class:`InterferenceTable` is the per-task-set compilation of that idea:
+
+* per-task ``ecb``/``ucb``/``pcb`` masks (and their popcounts),
+* the per-(priority, core) union masks the bounds keep re-folding
+  (:meth:`hep_ecb_mask` — the evicting union of Eq. 2/14),
+* the pairwise eviction masks behind the CPRO bounds
+  (:meth:`evicting_ecb_mask`, :meth:`core_ecb_mask_excluding`).
+
+The table is a pure function of the (immutable) task set, so it is built
+at most once per task set (shared via :meth:`~repro.model.task.TaskSet.
+derived`) and reused by every analysis run, variant and calculator; the
+build is counted by the ``bitset_table_builds`` perf counter.  The
+set-based implementations in :mod:`repro.persistence.cpro`,
+:mod:`repro.crpd.approaches` and :mod:`repro.crpd.multiset` are retained
+as the reference path (``AnalysisConfig(bitset_kernel=False)``); the
+``bitset-identity`` oracle of :mod:`repro.verify.oracles` proves the two
+kernels bit-identical on every fuzz case and corpus entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.model.task import Task, TaskSet
+
+
+def blocks_to_mask(blocks: Iterable[int]) -> int:
+    """Pack a set of cache-set indices into an integer bitmask.
+
+    Bit ``b`` of the result is set iff ``b`` is in ``blocks``.  Arbitrary
+    indices are supported (Python integers have no word-size limit);
+    negative indices are rejected — a cache set index is a non-negative
+    position in the cache.
+    """
+    mask = 0
+    for block in blocks:
+        if block < 0:
+            raise ModelError(
+                f"cache set indices must be non-negative, got {block}"
+            )
+        mask |= 1 << block
+    return mask
+
+
+def mask_to_blocks(mask: int) -> FrozenSet[int]:
+    """Inverse of :func:`blocks_to_mask` (testing / debugging aid)."""
+    blocks = []
+    index = 0
+    while mask:
+        if mask & 1:
+            blocks.append(index)
+        mask >>= 1
+        index += 1
+    return frozenset(blocks)
+
+
+class InterferenceTable:
+    """Precompiled bitmask views of one task set's cache-block sets.
+
+    All task-indexed lookups are keyed by *priority* (unique per task set,
+    exactly like the calculators' pair caches).  Union masks are computed
+    lazily and cached: the WCRT fixed point asks for the same
+    (priority, core) unions for every pair, so each is folded once.
+    """
+
+    def __init__(self, taskset: TaskSet):
+        self._taskset = taskset
+        self.ecb_mask: Dict[int, int] = {}
+        self.ucb_mask: Dict[int, int] = {}
+        self.pcb_mask: Dict[int, int] = {}
+        self.pcb_count: Dict[int, int] = {}
+        for task in taskset:
+            key = task.priority
+            self.ecb_mask[key] = blocks_to_mask(task.ecbs)
+            self.ucb_mask[key] = blocks_to_mask(task.ucbs)
+            self.pcb_mask[key] = blocks_to_mask(task.pcbs)
+            self.pcb_count[key] = len(task.pcbs)
+        self._hep_ecb_cache: Dict[Tuple[int, int], int] = {}
+        self._evicting_cache: Dict[Tuple[int, int, int], int] = {}
+        self._core_excl_cache: Dict[Tuple[int, int], int] = {}
+
+    @classmethod
+    def shared(
+        cls, taskset: TaskSet, perf: Optional[object] = None
+    ) -> "InterferenceTable":
+        """The task set's shared table, built at most once.
+
+        ``perf`` (a :class:`repro.perf.PerfCounters`) has its
+        ``bitset_table_builds`` counter bumped only when this call actually
+        constructs the table — cache hits are free and uncounted.
+        """
+
+        def build() -> "InterferenceTable":
+            if perf is not None:
+                perf.bitset_table_builds += 1
+            return cls(taskset)
+
+        return taskset.derived("interference-table", build)
+
+    def union_ecb_mask(self, tasks: Iterable[Task]) -> int:
+        """Fold of the ECB masks of ``tasks`` (uncached building block)."""
+        mask = 0
+        ecb = self.ecb_mask
+        for task in tasks:
+            mask |= ecb[task.priority]
+        return mask
+
+    def hep_ecb_mask(self, task: Task, core: int) -> int:
+        """Bitmask form of :meth:`~repro.model.task.TaskSet.hep_ecb_union`.
+
+        :math:`\\bigcup_{h \\in \\Gamma_{core} \\cap hep(task)} ECB_h` — the
+        evicting union of the ECB-union CRPD bound (Eq. 2) and its multiset
+        refinement.
+        """
+        key = (task.priority, core)
+        mask = self._hep_ecb_cache.get(key)
+        if mask is None:
+            mask = self.union_ecb_mask(self._taskset.hep_on_core(task, core))
+            self._hep_ecb_cache[key] = mask
+        return mask
+
+    def evicting_ecb_mask(self, task_j: Task, task_i: Task) -> int:
+        """CPRO eviction mask of Eq. (14): ECBs of the tasks that can run
+        between two jobs of ``task_j`` inside ``task_i``'s busy window —
+        same-core tasks of priority :math:`\\geq` ``task_i``'s, minus
+        ``task_j`` itself.
+        """
+        core = task_j.core
+        key = (task_j.priority, task_i.priority, core)
+        mask = self._evicting_cache.get(key)
+        if mask is None:
+            mask = self.union_ecb_mask(
+                t
+                for t in self._taskset.hep_on_core(task_i, core)
+                if t is not task_j
+            )
+            self._evicting_cache[key] = mask
+        return mask
+
+    def core_ecb_mask_excluding(self, task_j: Task) -> int:
+        """ECB union of every *other* task on ``task_j``'s core.
+
+        The coarse eviction mask of the global CPRO ablation variant
+        (:func:`repro.persistence.cpro.cpro_eviction_count_global`).
+        """
+        core = task_j.core
+        key = (task_j.priority, core)
+        mask = self._core_excl_cache.get(key)
+        if mask is None:
+            mask = self.union_ecb_mask(
+                t for t in self._taskset.on_core(core) if t is not task_j
+            )
+            self._core_excl_cache[key] = mask
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InterferenceTable({len(self.ecb_mask)} tasks)"

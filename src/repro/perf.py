@@ -8,7 +8,10 @@ of guessed.  :class:`PerfCounters` tracks
   ``inner_iterations``),
 * how well the epoch-keyed memoization performed (per-term cache hits and
   misses for the ``bao`` / ``bao_low`` / multiset-CRPD window terms; the
-  per-pair :math:`W` terms are fused into the ``bao`` sums), and
+  per-pair :math:`W` terms are fused into the ``bao`` sums),
+* how often the warm-started fixed point and the bitmask cache-set kernel
+  engaged (``warm_starts``, ``warm_start_iterations_saved``,
+  ``bitset_table_builds``), and
 * per-phase wall-clock time (task-set ``generation`` vs ``analysis``).
 
 Counters are plain integers so the bookkeeping stays cheap enough to leave
@@ -40,6 +43,15 @@ class PerfCounters:
     bao_low_misses: int = 0
     crpd_window_hits: int = 0
     crpd_window_misses: int = 0
+    #: Analyses seeded from a previously converged response-time map (same
+    #: task set, platform and config) instead of the cold isolated WCETs.
+    warm_starts: int = 0
+    #: Outer rounds skipped by warm starts: the recorded cold run's
+    #: ``outer_iterations`` minus the single re-verification round.
+    warm_start_iterations_saved: int = 0
+    #: Interference-table constructions (one per task set on first use of
+    #: the bitmask kernel; reused across runs through ``TaskSet.derived``).
+    bitset_table_builds: int = 0
     verify_cases: int = 0
     verify_shrink_steps: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -126,6 +138,12 @@ class PerfCounters:
             f"misses {self.memo_misses:>10d}   "
             f"hit ratio {100 * self.hit_ratio:5.1f}%"
         )
+        if self.warm_starts or self.bitset_table_builds:
+            lines.append(
+                f"  warm starts       {self.warm_starts:>12d}   "
+                f"outer rounds saved {self.warm_start_iterations_saved:>8d}   "
+                f"bitset tables {self.bitset_table_builds:>6d}"
+            )
         if self.verify_cases:
             lines.append(
                 f"  verify cases      {self.verify_cases:>12d}   "

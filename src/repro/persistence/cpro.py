@@ -26,9 +26,10 @@ coarser, but independent of the task under analysis.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, FrozenSet, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import AnalysisError
+from repro.model.interference import InterferenceTable
 from repro.model.task import Task, TaskSet
 
 
@@ -48,6 +49,15 @@ class CproApproach(enum.Enum):
     NONE = "none"
 
 
+def evicting_ecb_union(tasks: Iterable[Task]) -> FrozenSet[int]:
+    """Union of the ECBs of ``tasks`` — the eviction set of Eq. (14).
+
+    The single place both reference eviction counts build their evicting
+    set from; an empty task group yields the empty set (nothing to evict).
+    """
+    return frozenset().union(*(t.ecbs for t in tasks))
+
+
 def cpro_eviction_count_union(
     taskset: TaskSet, task_j: Task, task_i: Task
 ) -> int:
@@ -63,8 +73,7 @@ def cpro_eviction_count_union(
     ]
     if not others:
         return 0
-    evicting: FrozenSet[int] = frozenset().union(*(t.ecbs for t in others))
-    return len(task_j.pcbs & evicting)
+    return len(task_j.pcbs & evicting_ecb_union(others))
 
 
 def cpro_eviction_count_global(
@@ -79,8 +88,7 @@ def cpro_eviction_count_global(
     others = [t for t in taskset.on_core(core) if t is not task_j]
     if not others:
         return 0
-    evicting: FrozenSet[int] = frozenset().union(*(t.ecbs for t in others))
-    return len(task_j.pcbs & evicting)
+    return len(task_j.pcbs & evicting_ecb_union(others))
 
 
 def cpro_multiset_window(
@@ -127,6 +135,39 @@ _APPROACHES: Dict[CproApproach, Callable[[TaskSet, Task, Task], int]] = {
 }
 
 
+# -- bitmask kernel (AND + popcount over the interference table) ------------
+
+
+def _eviction_count_union_bitset(
+    table: InterferenceTable, task_j: Task, task_i: Task
+) -> int:
+    """Bitmask form of :func:`cpro_eviction_count_union`."""
+    return (
+        table.pcb_mask[task_j.priority]
+        & table.evicting_ecb_mask(task_j, task_i)
+    ).bit_count()
+
+
+def _eviction_count_global_bitset(
+    table: InterferenceTable, task_j: Task, task_i: Task
+) -> int:
+    """Bitmask form of :func:`cpro_eviction_count_global`."""
+    return (
+        table.pcb_mask[task_j.priority]
+        & table.core_ecb_mask_excluding(task_j)
+    ).bit_count()
+
+
+_BITSET_APPROACHES: Dict[
+    CproApproach, Callable[[InterferenceTable, Task, Task], int]
+] = {
+    CproApproach.UNION: _eviction_count_union_bitset,
+    CproApproach.GLOBAL: _eviction_count_global_bitset,
+    CproApproach.MULTISET: _eviction_count_union_bitset,
+    CproApproach.NONE: lambda table, task_j, task_i: 0,
+}
+
+
 #: Per-(task_j, task_i) overlap table for the multiset CPRO bound: one
 #: entry per PCB of ``task_j`` that at least one relevant evictor overlaps,
 #: holding the periods of those evictors.  PCBs nobody can evict contribute
@@ -142,29 +183,50 @@ class CproCalculator:
     :meth:`rho`.  For the ``MULTISET`` approach the per-PCB evictor-overlap
     scan is additionally precomputed into a per-pair table, so the per-call
     work of :meth:`rho_window` is a pure arithmetic fold.
+
+    With ``bitset=True`` (the default) the eviction counts are evaluated
+    from the task set's :class:`~repro.model.interference.InterferenceTable`
+    as single AND+popcount operations; ``bitset=False`` selects the
+    retained ``frozenset``-algebra reference path.  The two are
+    bit-identical (``bitset-identity`` oracle of :mod:`repro.verify`).
     """
 
     def __init__(
-        self, taskset: TaskSet, approach: CproApproach = CproApproach.UNION
+        self,
+        taskset: TaskSet,
+        approach: CproApproach = CproApproach.UNION,
+        bitset: bool = True,
     ):
         self._taskset = taskset
         self._approach = approach
+        self._bitset = bitset
         self._fn = _APPROACHES[approach]
+        self._bitset_fn = _BITSET_APPROACHES[approach]
+        self._table: Optional[InterferenceTable] = (
+            InterferenceTable.shared(taskset) if bitset else None
+        )
         self._cache: Dict[Tuple[int, int], int] = {}
         self._overlap_cache: Dict[Tuple[int, int], Optional[_OverlapTable]] = {}
 
     @classmethod
     def shared(
-        cls, taskset: TaskSet, approach: CproApproach = CproApproach.UNION
+        cls,
+        taskset: TaskSet,
+        approach: CproApproach = CproApproach.UNION,
+        bitset: bool = True,
     ) -> "CproCalculator":
-        """The task set's shared calculator for ``approach``.
+        """The task set's shared calculator for ``(approach, bitset)``.
 
         CPRO eviction counts are pure functions of the (immutable) task
-        set, so one calculator per (task set, approach) pair serves every
-        analysis run and keeps its pair cache warm across them.
+        set, so one calculator per (task set, approach, kernel) triple
+        serves every analysis run and keeps its pair cache warm across
+        them.  The bitset and reference kernels deliberately do *not*
+        share caches, so the differential oracle compares genuinely
+        independent evaluations.
         """
         return taskset.derived(
-            ("cpro-calculator", approach), lambda: cls(taskset, approach)
+            ("cpro-calculator", approach, bitset),
+            lambda: cls(taskset, approach, bitset),
         )
 
     @property
@@ -172,11 +234,20 @@ class CproCalculator:
         """The CPRO approach this calculator applies."""
         return self._approach
 
+    @property
+    def bitset(self) -> bool:
+        """Whether this calculator runs on the bitmask kernel."""
+        return self._bitset
+
     def eviction_count(self, task_j: Task, task_i: Task) -> int:
         """Evictable-PCB count of ``task_j`` within ``task_i``'s window."""
         key = (task_j.priority, task_i.priority)
         if key not in self._cache:
-            self._cache[key] = self._fn(self._taskset, task_j, task_i)
+            if self._table is not None:
+                value = self._bitset_fn(self._table, task_j, task_i)
+            else:
+                value = self._fn(self._taskset, task_j, task_i)
+            self._cache[key] = value
         return self._cache[key]
 
     def rho(self, task_j: Task, task_i: Task, n_jobs: int) -> int:
@@ -192,7 +263,12 @@ class CproCalculator:
         return (n_jobs - 1) * self.eviction_count(task_j, task_i)
 
     def _overlap_table(self, task_j: Task, task_i: Task) -> Optional[_OverlapTable]:
-        """Precomputed evictor-period table behind the multiset bound."""
+        """Precomputed evictor-period table behind the multiset bound.
+
+        On the bitmask kernel the per-PCB overlap test is a single-bit
+        probe of each evictor's ECB mask; the reference path keeps the
+        ``frozenset`` membership test.  Both enumerate the same rows.
+        """
         key = (task_j.priority, task_i.priority)
         if key in self._overlap_cache:
             return self._overlap_cache[key]
@@ -203,6 +279,20 @@ class CproCalculator:
         table: Optional[_OverlapTable]
         if not others:
             table = None
+        elif self._table is not None:
+            ecb_mask = self._table.ecb_mask
+            evictors = [(int(t.period), ecb_mask[t.priority]) for t in others]
+            table = tuple(
+                periods
+                for pcb in sorted(task_j.pcbs)
+                if (
+                    periods := tuple(
+                        period
+                        for period, mask in evictors
+                        if (mask >> pcb) & 1
+                    )
+                )
+            )
         else:
             table = tuple(
                 periods

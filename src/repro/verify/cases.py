@@ -54,6 +54,8 @@ def config_to_dict(config: AnalysisConfig) -> Dict:
         "persistence_in_low": config.persistence_in_low,
         "tdma_slot_alignment": config.tdma_slot_alignment,
         "memoization": config.memoization,
+        "bitset_kernel": config.bitset_kernel,
+        "warm_start": config.warm_start,
     }
 
 
@@ -76,6 +78,8 @@ def config_from_dict(data: Dict) -> AnalysisConfig:
                 "tdma_slot_alignment", defaults.tdma_slot_alignment
             ),
             memoization=data.get("memoization", defaults.memoization),
+            bitset_kernel=data.get("bitset_kernel", defaults.bitset_kernel),
+            warm_start=data.get("warm_start", defaults.warm_start),
         )
     except ValueError as error:
         raise ModelError(f"malformed analysis config record: {error}") from error

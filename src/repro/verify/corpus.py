@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ModelError
 from repro.verify.cases import case_from_dict, case_to_dict
-from repro.verify.oracles import run_oracles
+from repro.verify.oracles import always_replay_oracles, run_oracles
 
 #: Format tag and version of corpus entries.
 CORPUS_TAG = "repro-verify-corpus"
@@ -128,8 +128,22 @@ class ReplayReport:
 
 
 def replay_entry(entry: CorpusEntry) -> Dict[str, List[str]]:
-    """Run the entry's recorded oracles (all applicable when unset)."""
+    """Run the entry's recorded oracles (all applicable when unset).
+
+    Oracles flagged ``always_replay`` (the kernel/warm-start identity
+    checks) are additionally run on every entry of an applicable kind, so
+    the historical corpus exercises them even though the checked-in files
+    predate their registration.
+    """
     names: Optional[Sequence[str]] = entry.oracles or None
+    if names is not None:
+        extra = [
+            oracle.name
+            for oracle in always_replay_oracles(entry.case.kind)
+            if oracle.name not in names
+        ]
+        if extra:
+            names = list(names) + extra
     return run_oracles(entry.case, names=names)
 
 

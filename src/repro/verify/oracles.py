@@ -9,6 +9,17 @@ fuzz noise:
     Epoch-keyed memoization is invisible: ``AnalysisConfig(memoization=
     True)`` and the brute-force reference path return bit-identical
     :class:`~repro.analysis.wcrt.WcrtResult`\\ s.
+``bitset-identity``
+    The packed-bitmask cache-set kernel
+    (:class:`~repro.model.interference.InterferenceTable`) and the
+    retained ``frozenset`` reference path return bit-identical results.
+    Flagged ``always_replay``: corpus replay runs it on every task-set
+    entry, including entries recorded before the kernel existed.
+``warm-start-identity``
+    Re-analysing the same (task set, platform, config) with warm starts
+    enabled returns a result bit-identical to the cold analysis, and the
+    warm shortcut actually engages for schedulable sets.  Also
+    ``always_replay``.
 ``persistence-tightens``
     The persistence-aware bounds of Lemmas 1-2 never exceed the baseline
     bounds of Davis et al., and never flip a baseline-schedulable set to
@@ -63,22 +74,35 @@ from repro.verify.cases import DemandCase, ScenarioCase, TasksetCase
 @dataclass(frozen=True)
 class Oracle:
     """One checkable property: a name, the case kinds it applies to, and a
-    check function returning violation messages (empty = pass)."""
+    check function returning violation messages (empty = pass).
+
+    ``always_replay`` marks oracles that corpus replay runs on *every*
+    entry of an applicable kind, even entries whose recorded oracle list
+    predates the oracle's existence.  Identity oracles (kernel and warm
+    start vs their reference paths) use it so the whole historical corpus
+    keeps exercising them without rewriting the checked-in files.
+    """
 
     name: str
     kinds: Tuple[str, ...]
     description: str
     check: Callable[[object], List[str]]
+    always_replay: bool = False
 
 
 _REGISTRY: Dict[str, Oracle] = {}
 
 
-def register(name: str, kinds: Tuple[str, ...], description: str):
+def register(
+    name: str,
+    kinds: Tuple[str, ...],
+    description: str,
+    always_replay: bool = False,
+):
     """Class-body decorator adding a check function to the registry."""
 
     def wrap(check: Callable[[object], List[str]]) -> Callable:
-        _REGISTRY[name] = Oracle(name, kinds, description, check)
+        _REGISTRY[name] = Oracle(name, kinds, description, check, always_replay)
         return check
 
     return wrap
@@ -102,6 +126,13 @@ def get_oracle(name: str) -> Oracle:
 def applicable_oracles(kind: str) -> Tuple[Oracle, ...]:
     """Oracles applicable to a case kind, in registration order."""
     return tuple(o for o in _REGISTRY.values() if kind in o.kinds)
+
+
+def always_replay_oracles(kind: str) -> Tuple[Oracle, ...]:
+    """Applicable oracles flagged to run on every corpus entry."""
+    return tuple(
+        o for o in _REGISTRY.values() if o.always_replay and kind in o.kinds
+    )
 
 
 def run_oracles(
@@ -182,6 +213,65 @@ def _check_memo_identity(case: TasksetCase) -> List[str]:
             f"{memoized.response_times == reference.response_times}"
         ]
     return []
+
+
+@register(
+    "bitset-identity",
+    ("taskset",),
+    "bitmask cache-set kernel == frozenset reference path, bit for bit",
+    always_replay=True,
+)
+def _check_bitset_identity(case: TasksetCase) -> List[str]:
+    taskset = case.taskset()
+    bitset = analyze_taskset(
+        taskset, case.platform, replace(case.config, bitset_kernel=True)
+    )
+    reference = analyze_taskset(
+        taskset, case.platform, replace(case.config, bitset_kernel=False)
+    )
+    if bitset != reference:
+        by_priority = _by_priority(reference)
+        diffs = [
+            f"{task.name!r}: {bound} vs {by_priority.get(task.priority)}"
+            for task, bound in bitset.response_times.items()
+            if by_priority.get(task.priority) != bound
+        ]
+        return [
+            "bitmask kernel differs from frozenset reference: "
+            f"schedulable {bitset.schedulable} vs {reference.schedulable}, "
+            f"outer {bitset.outer_iterations} vs {reference.outer_iterations}"
+            + (f", bounds: {'; '.join(diffs)}" if diffs else "")
+        ]
+    return []
+
+
+@register(
+    "warm-start-identity",
+    ("taskset",),
+    "warm-started re-analysis == cold analysis, bit for bit",
+    always_replay=True,
+)
+def _check_warm_start_identity(case: TasksetCase) -> List[str]:
+    taskset = case.taskset()
+    config = replace(case.config, warm_start=True)
+    cold = analyze_taskset(taskset, case.platform, config)
+    warm = analyze_taskset(taskset, case.platform, config)
+    messages: List[str] = []
+    if warm != cold:
+        messages.append(
+            "warm-started replay differs from cold analysis: "
+            f"schedulable {warm.schedulable} vs {cold.schedulable}, "
+            f"outer {warm.outer_iterations} vs {cold.outer_iterations}, "
+            f"response times equal: "
+            f"{warm.response_times == cold.response_times}"
+        )
+    if cold.schedulable and warm.perf is not None and warm.perf.warm_starts != 1:
+        messages.append(
+            "warm start did not engage on a schedulable replay "
+            f"(warm_starts = {warm.perf.warm_starts}): the seed failed "
+            "re-verification on identical inputs"
+        )
+    return messages
 
 
 @register(

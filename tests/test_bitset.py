@@ -1,0 +1,194 @@
+"""Unit tests of the packed-bitmask interference table.
+
+The bitmask kernel (:mod:`repro.model.interference`) must agree with the
+``frozenset`` reference path on *every* input, including the edges where a
+packed-integer implementation classically goes wrong: empty block sets,
+cache-set indices crossing the 64-bit word boundary, and degenerate task
+groups (a core with a single task has nobody to evict anything).  The
+broad differential grids live in ``tests/test_differential.py``; this file
+pins the edge cases down directly at the table level.
+"""
+
+import pytest
+
+from repro.crpd.approaches import CrpdApproach, CrpdCalculator
+from repro.errors import ModelError
+from repro.model.interference import (
+    InterferenceTable,
+    blocks_to_mask,
+    mask_to_blocks,
+)
+from repro.model.task import Task, TaskSet
+from repro.persistence.cpro import (
+    CproApproach,
+    CproCalculator,
+    cpro_eviction_count_global,
+    cpro_eviction_count_union,
+    evicting_ecb_union,
+)
+
+
+def _task(name, priority, core=0, ecbs=(), ucbs=(), pcbs=()):
+    return Task(
+        name=name,
+        pd=100,
+        md=10,
+        md_r=5,
+        period=1000,
+        deadline=1000,
+        priority=priority,
+        core=core,
+        ecbs=frozenset(ecbs),
+        ucbs=frozenset(ucbs),
+        pcbs=frozenset(pcbs),
+    )
+
+
+class TestMaskPacking:
+    def test_round_trip_small_indices(self):
+        blocks = frozenset({0, 3, 17})
+        assert mask_to_blocks(blocks_to_mask(blocks)) == blocks
+
+    def test_empty_set_packs_to_zero(self):
+        assert blocks_to_mask(()) == 0
+        assert mask_to_blocks(0) == frozenset()
+
+    def test_word_boundary_indices(self):
+        # Indices straddling the 64-bit limb boundary and far beyond it:
+        # Python ints have no word size, so nothing special may happen.
+        blocks = frozenset({0, 63, 64, 127, 128, 1000})
+        mask = blocks_to_mask(blocks)
+        assert mask.bit_count() == len(blocks)
+        assert mask_to_blocks(mask) == blocks
+
+    def test_intersection_cardinality_across_words(self):
+        a = blocks_to_mask({63, 64, 65, 500})
+        b = blocks_to_mask({64, 500, 501})
+        assert (a & b).bit_count() == len(
+            frozenset({63, 64, 65, 500}) & frozenset({64, 500, 501})
+        )
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError):
+            blocks_to_mask({1, -1})
+
+
+class TestInterferenceTableEdges:
+    def test_empty_ecb_and_pcb_sets(self):
+        # Tasks with no cache footprint at all: every mask is zero, every
+        # cardinality zero, and both kernels agree on the eviction counts.
+        tasks = (_task("a", 1), _task("b", 2), _task("c", 3))
+        taskset = TaskSet(tasks)
+        table = InterferenceTable(taskset)
+        assert table.ecb_mask == {1: 0, 2: 0, 3: 0}
+        assert table.pcb_mask == {1: 0, 2: 0, 3: 0}
+        a, _, c = tasks
+        assert table.hep_ecb_mask(c, 0) == 0
+        for approach in CproApproach:
+            bitset = CproCalculator(taskset, approach, bitset=True)
+            reference = CproCalculator(taskset, approach, bitset=False)
+            assert bitset.eviction_count(c, a) == reference.eviction_count(c, a)
+            assert bitset.eviction_count(c, a) == 0
+
+    def test_pcbs_with_empty_evictors(self):
+        # The PCB owner is the only task with any cache footprint: the
+        # evicting union is empty, so nothing can be evicted.
+        tasks = (
+            _task("a", 1),
+            _task("b", 2),
+            _task("c", 3, ecbs={5}, pcbs={5}),
+        )
+        taskset = TaskSet(tasks)
+        table = InterferenceTable(taskset)
+        assert table.pcb_mask[3] == blocks_to_mask({5})
+        a, _, c = tasks
+        assert table.evicting_ecb_mask(c, a) == 0
+        for approach in CproApproach:
+            bitset = CproCalculator(taskset, approach, bitset=True)
+            reference = CproCalculator(taskset, approach, bitset=False)
+            assert bitset.eviction_count(c, a) == reference.eviction_count(c, a)
+            assert bitset.eviction_count(c, a) == 0
+
+    def test_blocks_beyond_word_boundary_match_reference(self):
+        # ECB/UCB/PCB indices spread across several 64-bit limbs; the
+        # eviction and CRPD counts must match the frozenset reference.
+        tasks = (
+            _task("hi", 1, ecbs={0, 63, 64}, ucbs={64}, pcbs={63}),
+            _task(
+                "mid",
+                2,
+                ecbs={64, 127, 128, 1000},
+                ucbs={127},
+                pcbs={64, 1000},
+            ),
+            _task("lo", 3, ecbs={0, 63, 127, 1000}, ucbs={1000}, pcbs={0, 127}),
+        )
+        taskset = TaskSet(tasks)
+        hi, mid, lo = tasks
+        for task_j in tasks:
+            for task_i in tasks:
+                if task_j is task_i:
+                    continue
+                bitset = CproCalculator(taskset, CproApproach.UNION, bitset=True)
+                assert bitset.eviction_count(
+                    task_j, task_i
+                ) == cpro_eviction_count_union(taskset, task_j, task_i)
+                coarse = CproCalculator(
+                    taskset, CproApproach.GLOBAL, bitset=True
+                )
+                assert coarse.eviction_count(
+                    task_j, task_i
+                ) == cpro_eviction_count_global(taskset, task_j, task_i)
+        crpd_bit = CrpdCalculator(taskset, CrpdApproach.ECB_UNION, bitset=True)
+        crpd_ref = CrpdCalculator(taskset, CrpdApproach.ECB_UNION, bitset=False)
+        assert crpd_bit.gamma(lo, hi) == crpd_ref.gamma(lo, hi)
+        assert crpd_bit.gamma(lo, mid) == crpd_ref.gamma(lo, mid)
+
+    def test_single_task_core_has_no_evictors(self):
+        # One task per core: hep/evicting unions over "the others" are
+        # empty, so every eviction count and CRPD value must be zero.
+        tasks = (
+            _task("solo0", 1, core=0, ecbs={1, 2}, ucbs={1}, pcbs={2}),
+            _task("solo1", 2, core=1, ecbs={2, 3}, ucbs={3}, pcbs={2}),
+        )
+        taskset = TaskSet(tasks)
+        table = InterferenceTable(taskset)
+        solo0, solo1 = tasks
+        assert table.evicting_ecb_mask(solo0, solo0) == 0
+        assert table.core_ecb_mask_excluding(solo0) == 0
+        for approach in CproApproach:
+            calculator = CproCalculator(taskset, approach, bitset=True)
+            assert calculator.eviction_count(solo0, solo0) == 0
+            assert calculator.rho(solo0, solo0, 5) == 0
+
+    def test_shared_table_is_built_once_per_taskset(self):
+        taskset = TaskSet((_task("a", 1, ecbs={1}), _task("b", 2, ecbs={2})))
+        first = InterferenceTable.shared(taskset)
+        second = InterferenceTable.shared(taskset)
+        assert first is second
+
+    def test_evicting_union_helper_matches_manual_fold(self):
+        tasks = (_task("a", 1, ecbs={1, 64}), _task("b", 2, ecbs={64, 200}))
+        assert evicting_ecb_union(tasks) == frozenset({1, 64, 200})
+        assert evicting_ecb_union(()) == frozenset()
+
+
+class TestKernelSelection:
+    def test_shared_calculators_keyed_by_kernel(self):
+        # The two kernels must not share cache state: a bitset calculator
+        # and a reference calculator for the same approach are distinct.
+        taskset = TaskSet((_task("a", 1, ecbs={1}), _task("b", 2, ecbs={2})))
+        bit = CproCalculator.shared(taskset, CproApproach.UNION, bitset=True)
+        ref = CproCalculator.shared(taskset, CproApproach.UNION, bitset=False)
+        assert bit is not ref
+        assert bit.bitset and not ref.bitset
+        assert bit is CproCalculator.shared(
+            taskset, CproApproach.UNION, bitset=True
+        )
+        crpd_bit = CrpdCalculator.shared(
+            taskset, CrpdApproach.ECB_UNION, bitset=True
+        )
+        crpd_ref = CrpdCalculator.shared(
+            taskset, CrpdApproach.ECB_UNION, bitset=False
+        )
+        assert crpd_bit is not crpd_ref

@@ -1,12 +1,22 @@
-"""Differential correctness test of the memoized analysis kernel.
+"""Differential correctness tests of the analysis-kernel optimisations.
 
-The epoch-keyed memoization of the interference terms (see
-:class:`repro.businterference.context.AnalysisContext`) must be an
-invisible optimisation: for every task set, platform and approach
-combination the memoized kernel has to return results identical to the
-un-memoized reference path (``AnalysisConfig(memoization=False)``) — same
-verdict, same per-task response times, same iteration counts.  This file
-pins that down over a broad randomized sample.
+Three optimisations must each be an *invisible* one — for every task set,
+platform and approach combination they have to return results identical to
+their reference path (same verdict, same per-task response times, same
+iteration counts):
+
+* the epoch-keyed memoization of the interference terms (see
+  :class:`repro.businterference.context.AnalysisContext`) versus
+  ``AnalysisConfig(memoization=False)``;
+* the packed-bitmask cache-set kernel (see
+  :class:`repro.model.interference.InterferenceTable`) versus the retained
+  ``frozenset`` algebra (``AnalysisConfig(bitset_kernel=False)``);
+* the warm-started fixed point (re-verifying a previously converged map)
+  versus a cold analysis of a fresh task-set object.
+
+This file pins all three down over broad randomized samples; the fuzzing
+counterparts are the ``memo-identity`` / ``bitset-identity`` /
+``warm-start-identity`` oracles of :mod:`repro.verify.oracles`.
 """
 
 import random
@@ -95,3 +105,100 @@ class TestMemoizationIsInvisible:
             for policy in BusPolicy
         ]
         assert first == second
+
+
+def _compare_bitset(taskset, platform, config):
+    bitset = analyze_taskset(
+        taskset, platform, replace(config, bitset_kernel=True)
+    )
+    reference = analyze_taskset(
+        taskset, platform, replace(config, bitset_kernel=False)
+    )
+    assert bitset == reference
+    return bitset
+
+
+class TestBitsetKernelIsInvisible:
+    @pytest.mark.parametrize("seed,utilization", SAMPLE_GRID[::3])
+    def test_default_analysis_identical(self, seed, utilization):
+        base = default_platform()
+        taskset = generate_taskset(random.Random(seed), base, utilization)
+        for policy in BusPolicy:
+            _compare_bitset(
+                taskset, base.with_bus_policy(policy), AnalysisConfig()
+            )
+
+    @pytest.mark.parametrize("crpd", list(CrpdApproach))
+    @pytest.mark.parametrize("cpro", list(CproApproach))
+    def test_every_crpd_cpro_combination_identical(self, crpd, cpro):
+        base = default_platform()
+        config = AnalysisConfig(crpd_approach=crpd, cpro_approach=cpro)
+        for seed in range(3):
+            taskset = generate_taskset(
+                random.Random(400 + seed), base, 0.35 + 0.15 * seed
+            )
+            for policy in (BusPolicy.FP, BusPolicy.RR):
+                _compare_bitset(taskset, base.with_bus_policy(policy), config)
+
+    def test_reference_path_never_builds_a_table(self):
+        base = default_platform()
+        taskset = generate_taskset(random.Random(500), base, 0.4)
+        result = analyze_taskset(
+            taskset, base, AnalysisConfig(bitset_kernel=False)
+        )
+        assert result.perf.bitset_table_builds == 0
+        result = analyze_taskset(
+            taskset, base, AnalysisConfig(bitset_kernel=True)
+        )
+        assert result.perf.bitset_table_builds == 1
+
+
+class TestWarmStartIsInvisible:
+    @pytest.mark.parametrize("seed,utilization", SAMPLE_GRID[::4])
+    def test_replay_bit_identical_to_cold(self, seed, utilization):
+        base = default_platform()
+        config = AnalysisConfig()
+        for policy in BusPolicy:
+            platform = base.with_bus_policy(policy)
+            taskset = generate_taskset(random.Random(seed), base, utilization)
+            cold = analyze_taskset(taskset, platform, config)
+            warm = analyze_taskset(taskset, platform, config)
+            # WcrtResult equality covers verdict, bounds, failing task and
+            # the reported outer iteration count (perf is excluded).
+            assert warm == cold
+            if cold.schedulable:
+                assert warm.perf.warm_starts == 1
+                assert warm.perf.outer_iterations == 1
+                assert (
+                    warm.perf.warm_start_iterations_saved
+                    == cold.outer_iterations - 1
+                )
+            else:
+                # Unschedulable results must never seed a warm start.
+                assert warm.perf.warm_starts == 0
+
+    def test_seeds_are_config_keyed(self):
+        # A seed recorded under one config must not leak into analyses
+        # under another: every distinct config gets its own cold run.
+        base = default_platform()
+        taskset = generate_taskset(random.Random(600), base, 0.4)
+        aware = AnalysisConfig(persistence=True)
+        oblivious = AnalysisConfig(persistence=False)
+        first = analyze_taskset(taskset, base, aware)
+        cross = analyze_taskset(taskset, base, oblivious)
+        assert cross.perf.warm_starts == 0
+        again = analyze_taskset(taskset, base, oblivious)
+        if cross.schedulable:
+            assert again.perf.warm_starts == 1
+        assert again == cross
+        assert analyze_taskset(taskset, base, aware) == first
+
+    def test_disabled_warm_start_always_runs_cold(self):
+        base = default_platform()
+        config = AnalysisConfig(warm_start=False)
+        taskset = generate_taskset(random.Random(601), base, 0.4)
+        first = analyze_taskset(taskset, base, config)
+        second = analyze_taskset(taskset, base, config)
+        assert second == first
+        assert second.perf.warm_starts == 0
+        assert second.perf.outer_iterations == first.perf.outer_iterations
