@@ -33,6 +33,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 THRESHOLDS = REPO_ROOT / "benchmarks" / "thresholds.json"
 BENCH_MODULE = "benchmarks/test_bench_micro.py"
 
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.atomicio import atomic_write_json  # noqa: E402
+
 
 def run_benchmarks(json_path: Path) -> None:
     """One pass of the micro benchmark module, writing a JSON report."""
@@ -96,7 +100,7 @@ def update(medians: Dict[str, float], thresholds: dict) -> int:
             print(f"bench-smoke: {name} missing from the report", file=sys.stderr)
             return 2
         thresholds["medians"][name] = round(medians[name], 6)
-    THRESHOLDS.write_text(json.dumps(thresholds, indent=2) + "\n")
+    atomic_write_json(THRESHOLDS, thresholds, indent=2)
     print(f"updated {THRESHOLDS}")
     return 0
 

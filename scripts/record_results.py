@@ -14,6 +14,10 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.atomicio import atomic_write_text  # noqa: E402
+
 PLACEHOLDERS = {
     "FIG3B_TABLE": "fig3b.txt",
     "FIG3C_TABLE": "fig3c.txt",
@@ -51,7 +55,7 @@ def main() -> int:
         changed = True
         print(f"recorded {filename}")
     if changed:
-        experiments.write_text(text)
+        atomic_write_text(experiments, text)
     return 0
 
 

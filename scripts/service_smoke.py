@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the batch-analysis service daemon.
+
+Drives a real ``python -m repro.service`` process over HTTP through the
+guarantees ``docs/SERVICE.md`` promises (runnable locally and as the
+``service-smoke`` CI job):
+
+1. **Budget cancellation** — a batch containing one hang-poisoned request
+   (cooperative spin) with a small deadline budget: the poisoned request
+   must come back ``budget-exceeded`` and be quarantined while the healthy
+   concurrent requests complete normally.
+2. **Circuit breaker** — repeated ``inject: crash`` requests kill their
+   workers until the breaker trips (503 + ``/readyz`` not ready); after
+   the cool-down a healthy probe closes it again.
+3. **Graceful drain** — SIGTERM: ``/readyz`` flips to 503, in-flight work
+   finishes, and the daemon exits 0.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments import default_platform  # noqa: E402
+from repro.generation import generate_taskset  # noqa: E402
+from repro.serialization import taskset_to_json  # noqa: E402
+
+ENV = dict(
+    os.environ,
+    PYTHONPATH=str(ROOT / "src") + os.pathsep + os.environ.get("PYTHONPATH", ""),
+)
+
+
+def expect(condition, message):
+    if not condition:
+        raise SystemExit(f"service-smoke: FAILED: {message}")
+    print(f"  ok: {message}", flush=True)
+
+
+def http(method, url, document=None, timeout=60):
+    """One JSON request; returns (status, parsed body)."""
+    data = json.dumps(document).encode("utf-8") if document is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def start_daemon():
+    """Launch the daemon on an OS-picked port; returns (process, base URL)."""
+    args = [
+        sys.executable,
+        "-m",
+        "repro.service",
+        "--port",
+        "0",
+        "--workers",
+        "2",
+        "--max-in-flight",
+        "8",
+        "--breaker-threshold",
+        "2",
+        "--breaker-reset",
+        "2",
+        "--drain-grace",
+        "60",
+    ]
+    print(f"$ {' '.join(args)}", flush=True)
+    process = subprocess.Popen(
+        args, cwd=ROOT, env=ENV, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if "listening on" in line:
+            url = line.strip().rsplit(" ", 1)[-1]
+            return process, url
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    out, err = process.communicate(timeout=10)
+    raise SystemExit(f"service-smoke: daemon never came up:\n{out}\n{err}")
+
+
+def taskset_envelope(seed=1, utilization=0.3):
+    platform = default_platform()
+    taskset = generate_taskset(random.Random(seed), platform, utilization)
+    return json.loads(taskset_to_json(taskset, platform))
+
+
+def budget_scenario(url, envelope):
+    """One poisoned request in a concurrent batch; the rest must succeed."""
+    results = {}
+
+    def submit(name, document):
+        results[name] = http("POST", f"{url}/analyze", document)
+
+    threads = [
+        threading.Thread(
+            target=submit,
+            args=(
+                "poisoned",
+                {
+                    "id": "poisoned",
+                    "taskset": envelope,
+                    "budget_seconds": 1.0,
+                    "inject": "hang",
+                },
+            ),
+        )
+    ]
+    for index in range(3):
+        threads.append(
+            threading.Thread(
+                target=submit,
+                args=(
+                    f"healthy-{index}",
+                    {"id": f"healthy-{index}", "taskset": envelope},
+                ),
+            )
+        )
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.monotonic() - started
+
+    status, body = results["poisoned"]
+    expect(
+        status == 200 and body["status"] == "budget-exceeded",
+        "poisoned request is cancelled by its deadline budget "
+        f"(status={body.get('status')})",
+    )
+    expect(
+        elapsed < 60,
+        f"budget abort happened well before any watchdog ({elapsed:.1f}s)",
+    )
+    for index in range(3):
+        status, body = results[f"healthy-{index}"]
+        expect(
+            status == 200 and body["status"] == "ok",
+            f"concurrent healthy request {index} completed normally",
+        )
+    _status, stats = http("GET", f"{url}/stats")
+    expect(
+        {"id": "poisoned", "reason": "budget-exceeded"} in stats["quarantined"],
+        "poisoned request is quarantined in /stats",
+    )
+    expect(
+        stats["requests"]["completed"] >= 3,
+        "stats count the healthy completions",
+    )
+    expect(
+        stats["perf"]["analyses"] >= 3,
+        "perf counters aggregate across worker processes",
+    )
+
+
+def breaker_scenario(url, envelope):
+    """Crash workers until the breaker trips, then watch it recover."""
+    saw_crash = saw_open = False
+    for attempt in range(6):
+        status, body = http(
+            "POST",
+            f"{url}/analyze",
+            {"id": f"crash-{attempt}", "taskset": envelope, "inject": "crash"},
+        )
+        if status == 500 and body.get("error") == "WorkerCrashError":
+            saw_crash = True
+        if status == 503 and body.get("status") == "breaker-open":
+            saw_open = True
+            break
+    expect(saw_crash, "injected crashes surface as WorkerCrashError")
+    expect(saw_open, "repeated worker crashes trip the circuit breaker")
+    status, body = http("GET", f"{url}/readyz")
+    expect(
+        status == 503 and body["status"] == "breaker-open",
+        "/readyz reports not-ready while the breaker is open",
+    )
+    time.sleep(2.5)  # cool-down (matches --breaker-reset 2)
+    status, body = http(
+        "POST", f"{url}/analyze", {"id": "probe", "taskset": envelope}
+    )
+    expect(
+        status == 200 and body["status"] == "ok",
+        "half-open probe succeeds and closes the breaker",
+    )
+    status, body = http("GET", f"{url}/readyz")
+    expect(status == 200, "/readyz is ready again after recovery")
+    _status, stats = http("GET", f"{url}/stats")
+    expect(stats["breaker"]["trips"] >= 1, "stats record the breaker trip")
+
+
+def drain_scenario(process, url, envelope):
+    """SIGTERM with a request in flight: clean drain, exit 0."""
+    result = {}
+
+    def submit():
+        result["inflight"] = http(
+            "POST",
+            f"{url}/analyze",
+            {"id": "inflight", "taskset": envelope},
+        )
+
+    thread = threading.Thread(target=submit)
+    thread.start()
+    time.sleep(0.3)  # let the request reach the pool
+    print("  sending SIGTERM", flush=True)
+    process.send_signal(signal.SIGTERM)
+    thread.join(timeout=120)
+    status, body = result.get("inflight", (None, {}))
+    expect(
+        status == 200 and body.get("status") == "ok",
+        "in-flight request finished during the drain",
+    )
+    out, err = process.communicate(timeout=120)
+    expect(
+        process.returncode == 0,
+        f"daemon exited 0 after the drain (got {process.returncode})",
+    )
+    expect("draining" in err, "daemon logged the drain")
+    expect("drained, exiting" in out, "daemon reported a clean drain")
+
+
+def main():
+    envelope = taskset_envelope()
+    process, url = start_daemon()
+    try:
+        status, body = http("GET", f"{url}/healthz")
+        expect(status == 200 and body["status"] == "ok", "daemon is live")
+        budget_scenario(url, envelope)
+        breaker_scenario(url, envelope)
+        drain_scenario(process, url, envelope)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)
+    print("service-smoke: all scenarios passed", flush=True)
+
+
+if __name__ == "__main__":
+    main()

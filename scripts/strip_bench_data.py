@@ -25,6 +25,10 @@ import sys
 from pathlib import Path
 from typing import List
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.atomicio import atomic_write_json  # noqa: E402
+
 
 def strip_report(document: dict) -> int:
     """Remove ``stats.data`` from every benchmark entry, in place.
@@ -53,7 +57,7 @@ def main(argv: List[str] | None = None) -> int:
     for path in args.reports:
         document = json.loads(path.read_text())
         dropped = strip_report(document)
-        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        atomic_write_json(path, document, indent=2, sort_keys=True)
         print(f"{path}: dropped {dropped} raw measurements")
     return 0
 

@@ -32,6 +32,9 @@ from repro.analysis import (
     is_schedulable,
     weighted_schedulability,
 )
+from repro.atomicio import atomic_write_json, atomic_write_text
+from repro.budget import Budget, CancelToken
+from repro.errors import AnalysisAborted, BudgetExceeded, Cancelled
 from repro.serialization import load_taskset, save_taskset
 from repro.model import (
     BusPolicy,
@@ -52,6 +55,13 @@ __all__ = [
     "WcrtBreakdown",
     "WcrtResult",
     "analyze_taskset",
+    "atomic_write_json",
+    "atomic_write_text",
+    "AnalysisAborted",
+    "Budget",
+    "BudgetExceeded",
+    "CancelToken",
+    "Cancelled",
     "breakdown_d_mem",
     "breakdown_period_scale",
     "decompose_taskset",

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.wcrt import WcrtResult, analyze_taskset
+from repro.budget import Budget
 from repro.businterference.arbiters import total_bus_accesses
 from repro.businterference.context import AnalysisContext
 from repro.businterference.requests import (
@@ -130,7 +131,7 @@ def _same_core_parts(
         isolated = n_jobs * task_j.md
         if ctx.persistence:
             persistent = multi_job_demand(task_j, n_jobs) + ctx.cpro.rho_window(
-                task_j, task, n_jobs, t
+                task_j, task, n_jobs, t, budget=ctx.budget
             )
             memory += min(isolated, persistent)
         else:
@@ -161,7 +162,7 @@ def _remote_parts(ctx: AnalysisContext, task: Task, t: int) -> Tuple[int, int]:
             isolated = n_full * task_l.md
             if ctx.persistence:
                 persistent = multi_job_demand(task_l, n_full) + ctx.cpro.rho_window(
-                    task_l, task, n_full, t, carry_in=True
+                    task_l, task, n_full, t, carry_in=True, budget=ctx.budget
                 )
                 memory += min(isolated, persistent)
             else:
@@ -174,7 +175,14 @@ def _remote_parts(ctx: AnalysisContext, task: Task, t: int) -> Tuple[int, int]:
 def decompose(
     ctx: AnalysisContext, task: Task, response_time: int
 ) -> WcrtBreakdown:
-    """Split the right-hand side of Eq. (19) at window ``response_time``."""
+    """Split the right-hand side of Eq. (19) at window ``response_time``.
+
+    Honours ``ctx.budget`` (one check per task): a breakdown of a huge
+    task set under a tight deadline aborts between tasks rather than
+    running to completion.
+    """
+    if ctx.budget is not None:
+        ctx.budget.check()
     d_mem = ctx.platform.d_mem
     t = response_time
     core_processing, same_memory, same_crpd = _same_core_parts(ctx, task, t)
@@ -226,15 +234,19 @@ def decompose_taskset(
     platform: Platform,
     config: AnalysisConfig = AnalysisConfig(),
     result: Optional[WcrtResult] = None,
+    budget: Optional[Budget] = None,
 ) -> List[WcrtBreakdown]:
     """Breakdowns for every task, running the analysis if needed.
 
     For unschedulable sets, tasks analysed before the failure are included
     with their final estimates; the failing task appears with its
-    over-deadline estimate.
+    over-deadline estimate.  ``budget`` covers the implied analysis (if
+    any) *and* the per-task decomposition passes under one allowance.
     """
+    if budget is not None:
+        budget.start()
     if result is None:
-        result = analyze_taskset(taskset, platform, config)
+        result = analyze_taskset(taskset, platform, config, budget=budget)
     # Reuse the task set's shared calculators (same kernel as the analysis
     # run) so the decomposition re-evaluates the recurrence from the very
     # caches the fixed point warmed up.
@@ -250,6 +262,7 @@ def decompose_taskset(
         ),
         persistence_in_low=config.persistence_in_low,
         tdma_slot_alignment=config.tdma_slot_alignment,
+        budget=budget,
     )
     for task, estimate in result.response_times.items():
         ctx.set_response_time(task, estimate)

@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.wcrt import WcrtResult, analyze_taskset
+from repro.budget import Budget
 from repro.perf import PerfCounters
 from repro.model.platform import BusPolicy, Platform
 from repro.model.task import TaskSet
@@ -44,6 +45,7 @@ def check_schedulability(
     platform: Platform,
     config: AnalysisConfig = AnalysisConfig(),
     perf: Optional[PerfCounters] = None,
+    budget: Optional[Budget] = None,
 ) -> SchedulabilityVerdict:
     """Full schedulability verdict with the underlying WCRT result.
 
@@ -53,6 +55,8 @@ def check_schedulability(
     interference table, calculator caches and warm-start seeds (see
     :func:`repro.analysis.wcrt.analyze_taskset`), so re-checking a verdict
     is much cheaper than the first check — and bit-identical to it.
+    ``budget`` threads a :class:`~repro.budget.Budget` through the WCRT
+    analysis (see :mod:`repro.budget`).
     """
     d_mem = platform.d_mem
 
@@ -74,7 +78,7 @@ def check_schedulability(
                 bus_utilization=bus_util,
                 reason="bus utilisation exceeds 1",
             )
-        result = analyze_taskset(taskset, platform, config, perf=perf)
+        result = analyze_taskset(taskset, platform, config, perf=perf, budget=budget)
         return SchedulabilityVerdict(
             schedulable=result.schedulable,
             wcrt=result,
@@ -82,7 +86,7 @@ def check_schedulability(
             reason="" if result.schedulable else "deadline miss (perfect bus)",
         )
 
-    result = analyze_taskset(taskset, platform, config, perf=perf)
+    result = analyze_taskset(taskset, platform, config, perf=perf, budget=budget)
     if result.schedulable:
         return SchedulabilityVerdict(schedulable=True, wcrt=result)
     failed = result.failed_task.name if result.failed_task else "<outer loop>"
@@ -98,6 +102,9 @@ def is_schedulable(
     platform: Platform,
     config: AnalysisConfig = AnalysisConfig(),
     perf: Optional[PerfCounters] = None,
+    budget: Optional[Budget] = None,
 ) -> bool:
     """Boolean schedulability predicate used by the experiment sweeps."""
-    return check_schedulability(taskset, platform, config, perf=perf).schedulable
+    return check_schedulability(
+        taskset, platform, config, perf=perf, budget=budget
+    ).schedulable

@@ -30,10 +30,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.analysis.config import AnalysisConfig
+from repro.budget import Budget
 from repro.businterference.arbiters import total_bus_accesses
 from repro.businterference.context import AnalysisContext
 from repro.crpd.approaches import CrpdCalculator
-from repro.errors import ConvergenceError
+from repro.errors import AnalysisAborted, ConvergenceError
 from repro.model.interference import InterferenceTable
 from repro.model.platform import Platform
 from repro.model.task import Task, TaskSet
@@ -98,8 +99,15 @@ def _task_fixed_point(
     pd_i = int(task.pd)
     deadline = int(task.deadline)
     perf = ctx.perf
+    budget = ctx.budget
     r = start
     for _ in range(config.max_inner_iterations):
+        # The tick sits at the iteration boundary, *before* any work of the
+        # iteration: an abort therefore never leaves a half-evaluated term
+        # behind, and the boundary index is bit-identical across the
+        # memoization/bitset/warm-start kernel variants.
+        if budget is not None:
+            budget.tick()
         perf.inner_iterations += 1
         core_interference = sum(
             -((-r) // period) * pd_j for period, pd_j in hp_rows
@@ -121,6 +129,7 @@ def _make_context(
     platform: Platform,
     config: AnalysisConfig,
     counters: PerfCounters,
+    budget: Optional[Budget] = None,
 ) -> AnalysisContext:
     """Fresh analysis context over the task set's shared calculators."""
     return AnalysisContext(
@@ -137,6 +146,7 @@ def _make_context(
         tdma_slot_alignment=config.tdma_slot_alignment,
         memoize=config.memoization,
         perf=counters,
+        budget=budget,
     )
 
 
@@ -145,6 +155,7 @@ def analyze_taskset(
     platform: Platform,
     config: AnalysisConfig = AnalysisConfig(),
     perf: Optional[PerfCounters] = None,
+    budget: Optional[Budget] = None,
 ) -> WcrtResult:
     """Compute WCRT bounds for every task of ``taskset`` on ``platform``.
 
@@ -166,6 +177,18 @@ def analyze_taskset(
     Each call collects a fresh set of :class:`~repro.perf.PerfCounters`
     (returned as ``result.perf``); pass ``perf`` to additionally accumulate
     them into a caller-owned aggregate, e.g. across a sweep.
+
+    ``budget`` (optional) threads a :class:`~repro.budget.Budget` through
+    the fixed points: every inner iteration ticks it, so an over-budget or
+    cancelled analysis aborts at the next iteration boundary with a typed
+    :class:`~repro.errors.BudgetExceeded` / :class:`~repro.errors.Cancelled`
+    whose ``partial`` attribute holds the estimates reached so far.  A
+    budget generous enough for the analysis to finish is invisible: the
+    result is bit-identical to a budget-less run, and all shared caches
+    (derived tables, calculator caches, warm-start seeds) stay exactly as
+    consistent after an abort as after a cold start — aborted runs never
+    record a warm-start seed, and the per-run memo caches die with the
+    run's context.
     """
     counters = PerfCounters()
     if config.bitset_kernel:
@@ -174,26 +197,48 @@ def analyze_taskset(
         # hiding inside the first calculator access.
         InterferenceTable.shared(taskset, perf=counters)
     counters.analyses += 1
+    if budget is not None:
+        budget.start()
     seeds: Optional[Dict[Tuple[Platform, AnalysisConfig], _WarmSeed]] = (
         taskset.derived("warm-start-seeds", dict) if config.warm_start else None
     )
     seed_key = (platform, config)
     result: Optional[WcrtResult] = None
-    with counters.phase("analysis"):
-        if seeds is not None and (stored := seeds.get(seed_key)) is not None:
-            ctx = _make_context(taskset, platform, config, counters)
-            result = _warm_verify(ctx, stored, config)
-        if result is None:
-            ctx = _make_context(taskset, platform, config, counters)
-            result = _analyze(ctx, taskset, platform, config)
-            if seeds is not None and result.schedulable:
-                # Only schedulable maps are replayable: an unschedulable run
-                # stops mid-refinement, and reseeding from its partial map
-                # would not retrace the cold iteration order.
-                seeds[seed_key] = (
-                    dict(result.response_times),
-                    result.outer_iterations,
-                )
+    ctx: Optional[AnalysisContext] = None
+    try:
+        with counters.phase("analysis"):
+            if seeds is not None and (stored := seeds.get(seed_key)) is not None:
+                ctx = _make_context(taskset, platform, config, counters, budget)
+                result = _warm_verify(ctx, stored, config)
+            if result is None:
+                ctx = _make_context(taskset, platform, config, counters, budget)
+                result = _analyze(ctx, taskset, platform, config)
+                if seeds is not None and result.schedulable:
+                    # Only schedulable maps are replayable: an unschedulable
+                    # run stops mid-refinement, and reseeding from its partial
+                    # map would not retrace the cold iteration order.
+                    seeds[seed_key] = (
+                        dict(result.response_times),
+                        result.outer_iterations,
+                    )
+    except AnalysisAborted as abort:
+        # Attach the partial result and accounting, then propagate.  No
+        # seed was recorded and every shared cache holds only values that
+        # are pure functions of the task set, so a rerun is bit-identical
+        # to a cold run (pinned by tests/test_budget.py).
+        counters.budget_aborts += 1
+        abort.partial = WcrtResult(
+            schedulable=False,
+            response_times=dict(ctx.response_times) if ctx is not None else {},
+            outer_iterations=counters.outer_iterations,
+            perf=counters,
+        )
+        if budget is not None:
+            abort.iterations = budget.iterations
+            abort.elapsed = budget.elapsed()
+        if perf is not None:
+            perf.merge(counters)
+        raise
     result.perf = counters
     if perf is not None:
         perf.merge(counters)

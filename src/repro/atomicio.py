@@ -1,0 +1,53 @@
+"""Crash-safe file writes for every JSON/text artifact the repo persists.
+
+A bare ``open(...).write`` or ``Path.write_text`` truncates the target
+before the new bytes land, so a crash, kill -9 or full disk between the
+two leaves a corrupt artifact — fatal for files other machinery trusts
+(saved task sets, reproducer corpus entries, benchmark thresholds).
+
+:func:`atomic_write_text` follows the standard recipe instead: write to a
+temporary file *in the destination directory* (``os.replace`` is only
+atomic within one filesystem), flush and ``fsync`` it, then rename over
+the target.  Readers therefore always see either the complete old
+contents or the complete new contents, never a prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (UTF-8).
+
+    The temporary file is created next to the destination and cleaned up
+    on any failure, so an interrupted write leaves no droppings and the
+    existing file untouched.
+    """
+    target = Path(path)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: PathLike, document: Any, **dumps_kwargs) -> None:
+    """Atomically write ``document`` as JSON (trailing newline included)."""
+    atomic_write_text(path, json.dumps(document, **dumps_kwargs) + "\n")

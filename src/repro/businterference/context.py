@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.budget import Budget
 from repro.crpd.approaches import CrpdApproach, CrpdCalculator
 from repro.errors import AnalysisError
 from repro.model.platform import Platform
@@ -64,6 +65,11 @@ class AnalysisContext:
             Results are bit-identical either way; disabling selects the
             reference path used by the differential correctness test.
         perf: counters recording iteration counts and memo hits/misses.
+        budget: optional :class:`~repro.budget.Budget` ticked at every
+            inner fixed-point iteration (and checked inside the expensive
+            window folds), so an over-budget or cancelled analysis aborts
+            cooperatively.  ``None`` — the default — removes every check;
+            a present budget never alters any computed value.
     """
 
     taskset: TaskSet
@@ -76,6 +82,7 @@ class AnalysisContext:
     tdma_slot_alignment: bool = False
     memoize: bool = True
     perf: PerfCounters = field(default_factory=PerfCounters)
+    budget: Optional[Budget] = None
 
     #: Global estimate-revision counter ("epoch"): incremented every time
     #: any task's response-time estimate actually changes.

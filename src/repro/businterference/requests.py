@@ -67,7 +67,9 @@ def crpd_multiset_window(ctx: AnalysisContext, task_i: Task, task_j: Task, t: in
     ``task_j``'s core, so cached values are keyed by that core's epoch.
     """
     if not ctx.memoize:
-        return ctx.crpd.multiset_window(task_i, task_j, t, ctx.response_time)
+        return ctx.crpd.multiset_window(
+            task_i, task_j, t, ctx.response_time, budget=ctx.budget
+        )
     key = (task_i.priority, task_j.priority, t)
     epoch = ctx.core_epoch(task_j.core)
     cached = ctx._crpd_window_cache.get(key)
@@ -75,7 +77,9 @@ def crpd_multiset_window(ctx: AnalysisContext, task_i: Task, task_j: Task, t: in
         ctx.perf.crpd_window_hits += 1
         return cached[1]
     ctx.perf.crpd_window_misses += 1
-    value = ctx.crpd.multiset_window(task_i, task_j, t, ctx.response_time)
+    value = ctx.crpd.multiset_window(
+        task_i, task_j, t, ctx.response_time, budget=ctx.budget
+    )
     ctx._crpd_window_cache[key] = (epoch, value)
     return value
 
@@ -141,7 +145,7 @@ def bas(ctx: AnalysisContext, task_i: Task, t: int) -> int:
                     persistent += (n_jobs - 1) * evictable
             else:
                 persistent = multi_job_demand(task_j, n_jobs) + ctx.cpro.rho_window(
-                    task_j, task_i, n_jobs, t
+                    task_j, task_i, n_jobs, t, budget=ctx.budget
                 )
             demand = persistent if persistent < isolated else isolated
         else:
@@ -273,7 +277,7 @@ def _w_sum(
                     persistent += (n_full - 1) * evictable
             else:
                 persistent = multi_job_demand(task_l, n_full) + ctx.cpro.rho_window(
-                    task_l, task_k, n_full, t, carry_in=True
+                    task_l, task_k, n_full, t, carry_in=True, budget=ctx.budget
                 )
             demand = persistent if persistent < isolated else isolated
         else:

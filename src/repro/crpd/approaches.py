@@ -27,6 +27,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
+from repro.budget import Budget
 from repro.crpd.multiset import (
     multiset_pair_data,
     multiset_pair_data_bitset,
@@ -236,13 +237,17 @@ class CrpdCalculator:
         task_j: Task,
         window: int,
         response_time_of: Callable[[Task], int],
+        budget: Optional[Budget] = None,
     ) -> int:
         """Window-level multiset CRPD (see :mod:`repro.crpd.multiset`).
 
         The static per-pair data (reload costs, periods) is extracted once
         per (task_i, task_j) pair; only the window-dependent greedy sum runs
-        per call.
+        per call.  ``budget`` adds one cooperative cancellation point per
+        fold without affecting the computed value.
         """
+        if budget is not None:
+            budget.check()
         key = (task_i.priority, task_j.priority)
         data = self._multiset_cache.get(key)
         if data is None:

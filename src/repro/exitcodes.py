@@ -1,0 +1,79 @@
+"""Process exit codes shared by every ``repro`` command-line tool.
+
+One documented mapping from the :class:`~repro.errors.ReproError`
+hierarchy to distinct exit codes, so shell scripts and CI jobs can react
+to *what kind* of failure occurred without scraping stderr:
+
+==========================  ====  =============================================
+meaning                     code  raised as
+==========================  ====  =============================================
+success                     0     —
+unexpected ``ReproError``   1     any subclass not covered below
+model / validation error    2     :class:`~repro.errors.ModelError`,
+                                  :class:`~repro.errors.GenerationError`,
+                                  :class:`~repro.errors.ProgramError`, and any
+                                  bad command line / configuration
+analysis error              3     :class:`~repro.errors.AnalysisError`,
+                                  :class:`~repro.errors.SimulationError`
+execution error             4     :class:`~repro.errors.ExecutionError`
+                                  (worker crash, chunk timeout, journal
+                                  corruption)
+interrupted                 130   :class:`~repro.errors.SweepInterrupted`
+                                  (mirrors the shell's 128+SIGINT)
+==========================  ====  =============================================
+
+The *phase* matters: CLI argument and configuration problems are always
+reported as :data:`EXIT_USAGE` (2) regardless of which error class carried
+them — that keeps the long-standing ``argparse`` convention — while errors
+raised from a *running* command map by class via :func:`exit_code_for`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    AnalysisError,
+    ExecutionError,
+    GenerationError,
+    ModelError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+    SweepInterrupted,
+)
+
+#: Command completed successfully.
+EXIT_OK = 0
+
+#: A :class:`~repro.errors.ReproError` with no more specific mapping.
+EXIT_FAILURE = 1
+
+#: Invalid input: bad command line, bad configuration, malformed model.
+EXIT_USAGE = 2
+
+#: The analysis or simulation itself failed (not its execution machinery).
+EXIT_ANALYSIS = 3
+
+#: The execution layer failed: worker crash, hang, journal corruption.
+EXIT_EXECUTION = 4
+
+#: Interrupted by SIGINT/SIGTERM after a clean journal flush.
+EXIT_INTERRUPTED = 130
+
+
+def exit_code_for(error: ReproError) -> int:
+    """Exit code for an error raised while a command was *running*.
+
+    The ``isinstance`` checks run most-specific first:
+    :class:`~repro.errors.SweepInterrupted` is an
+    :class:`~repro.errors.ExecutionError` but must keep the conventional
+    128+signal code.
+    """
+    if isinstance(error, SweepInterrupted):
+        return EXIT_INTERRUPTED
+    if isinstance(error, ExecutionError):
+        return EXIT_EXECUTION
+    if isinstance(error, (ModelError, GenerationError, ProgramError)):
+        return EXIT_USAGE
+    if isinstance(error, (AnalysisError, SimulationError)):
+        return EXIT_ANALYSIS
+    return EXIT_FAILURE

@@ -17,9 +17,14 @@ pre-emption (see ``docs/RESILIENCE.md``)::
     # ... SIGTERM / crash / Ctrl-C ...
     repro-experiments fig2 --samples 1000 --jobs 8 --journal runs/fig2 --resume
 
-``--timeout``/``--retries`` tune the worker supervision (hang watchdog and
-transient-failure retry budget), and ``--inject`` deliberately breaks one
-sample (crash/hang/flaky) to exercise the recovery paths.
+``--budget``/``--timeout``/``--retries`` tune the worker supervision
+(in-process per-sample budgets, hang watchdog and transient-failure retry
+budget), and ``--inject`` deliberately breaks one sample
+(crash/hang/flaky) to exercise the recovery paths.
+
+Exit codes follow :mod:`repro.exitcodes`: 0 success, 2 invalid command
+line or model/validation error, 3 analysis error, 4 execution error
+(journal corruption, unrecoverable workers), 130 interrupted.
 """
 
 from __future__ import annotations
@@ -29,7 +34,8 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.errors import AnalysisError, JournalError, SweepInterrupted
+from repro.errors import AnalysisError, ReproError, SweepInterrupted
+from repro.exitcodes import EXIT_INTERRUPTED, EXIT_OK, EXIT_USAGE, exit_code_for
 from repro.experiments.config import settings_from_environment
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig2 import run_fig2
@@ -40,8 +46,6 @@ from repro.verify.faults import parse_sweep_fault, sweep_fault_kinds
 
 _EXPERIMENTS = ("table1", "fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig3d")
 
-#: Exit code for an interrupted-but-journaled sweep (mirrors 128+SIGINT).
-EXIT_INTERRUPTED = 130
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -97,8 +101,18 @@ def _parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="per-chunk wall-clock budget; a chunk exceeding it is killed "
-        "and retried (default: no hang watchdog)",
+        help="per-chunk wall-clock budget of the process-kill watchdog; a "
+        "chunk exceeding it is killed and retried (default: no hang "
+        "watchdog, or derived from --budget)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-sample in-process analysis budget; an over-budget sample "
+        "aborts cooperatively at the next iteration boundary and is "
+        "quarantined without retries (default: unlimited)",
     )
     parser.add_argument(
         "--retries",
@@ -129,6 +143,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["jobs"] = args.jobs
     if args.timeout is not None:
         overrides["timeout"] = args.timeout
+    if args.budget is not None:
+        overrides["sample_budget"] = args.budget
     if args.retries is not None:
         overrides["retries"] = args.retries
     try:
@@ -137,8 +153,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         fault = parse_sweep_fault(args.inject) if args.inject else None
         settings = settings_from_environment(**overrides)
     except AnalysisError as error:
+        # Configuration problems are usage errors regardless of the class
+        # that carried them (see repro.exitcodes).
         print(f"repro-experiments: error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     sweep_kwargs = {
         "journal_dir": args.journal,
@@ -167,15 +185,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return EXIT_INTERRUPTED
-        except JournalError as error:
+        except ReproError as error:
             print(f"repro-experiments: error: {error}", file=sys.stderr)
-            return 2
+            return exit_code_for(error)
         print(result.render())
         print(f"[{name} completed in {time.time() - started:.1f}s]\n")
         if settings.profile:
             print(global_counters().render())
             print()
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -103,12 +103,19 @@ class SweepSettings:
     experiment (see :mod:`repro.perf`).
 
     The resilience knobs drive the supervised execution layer
-    (:mod:`repro.experiments.supervisor`): ``timeout`` is the per-chunk
-    wall-clock budget in seconds (``None`` disables the hang watchdog, the
-    default — legitimate chunks near the schedulability cliff can be
-    arbitrarily slow); ``retries`` is the per-sample retry budget for
-    transient failures; ``backoff`` the base of the capped exponential
-    backoff between retries.
+    (:mod:`repro.experiments.supervisor`): ``sample_budget`` is the
+    per-sample *in-process* wall-clock budget in seconds — each sample's
+    analyses carry a :class:`~repro.budget.Budget` and abort cooperatively
+    at the next iteration boundary when it runs out (quarantined with kind
+    ``"budget"``, no retries: the abort is a property of the sample, not a
+    transient).  ``timeout`` is the per-chunk wall-clock budget of the
+    process-kill watchdog (``None`` disables it, the default — legitimate
+    chunks near the schedulability cliff can be arbitrarily slow); when
+    only ``sample_budget`` is set, a generous watchdog allowance is derived
+    from it as a fallback for non-cooperative hangs (see the supervisor).
+    ``retries`` is the per-sample retry budget for transient failures;
+    ``backoff`` the base of the capped exponential backoff between
+    retries.
 
     Every parameter is validated eagerly at construction with a typed
     :class:`~repro.errors.ReproError` subclass, so misconfiguration
@@ -123,6 +130,7 @@ class SweepSettings:
     generation: GenerationConfig = field(default_factory=GenerationConfig)
     profile: bool = False
     timeout: Optional[float] = None
+    sample_budget: Optional[float] = None
     retries: int = 2
     backoff: float = 0.05
 
@@ -152,6 +160,13 @@ class SweepSettings:
             raise AnalysisError(
                 f"timeout must be a positive number of seconds (or None "
                 f"to disable the watchdog), got {self.timeout}"
+            )
+        if self.sample_budget is not None and not (
+            math.isfinite(self.sample_budget) and self.sample_budget > 0
+        ):
+            raise AnalysisError(
+                f"sample budget must be a positive number of seconds (or "
+                f"None to disable in-process budgets), got {self.sample_budget}"
             )
         if self.retries < 0:
             raise AnalysisError(

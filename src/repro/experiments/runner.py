@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.schedulability import is_schedulable
 from repro.analysis.weighted import weighted_schedulability
+from repro.budget import Budget
 from repro.errors import AnalysisError, JournalError
 from repro.experiments.config import SweepSettings, Variant
 from repro.experiments.journal import RunJournal, sweep_description, sweep_fingerprint
@@ -73,12 +74,17 @@ def evaluate_sample(
     generation: GenerationConfig,
     sample_seed: int,
     perf: Optional[PerfCounters] = None,
+    budget: Optional[Budget] = None,
 ) -> SampleOutcome:
     """Generate one task set and test it under every variant.
 
     The task set is generated once from ``base_platform`` (generation only
     depends on ``d_mem``, the cache geometry and the core count, not on the
-    arbitration policy) and shared across variants.
+    arbitration policy) and shared across variants.  ``budget`` (one
+    :class:`~repro.budget.Budget` covering *all* variants of the sample)
+    lets an over-budget analysis abort cooperatively with
+    :class:`~repro.errors.BudgetExceeded` instead of running on until the
+    supervisor's process-kill watchdog fires.
     """
     rng = random.Random(sample_seed)
     taskset = generate_taskset(rng, base_platform, utilization, generation)
@@ -89,6 +95,7 @@ def evaluate_sample(
             base_platform.with_bus_policy(variant.policy),
             variant.analysis,
             perf=perf,
+            budget=budget,
         )
         for variant in variants
     )
@@ -102,13 +109,15 @@ def evaluate_item(
     generation: GenerationConfig,
     sample_seed: int,
     perf: Optional[PerfCounters] = None,
+    budget: Optional[Budget] = None,
 ) -> Tuple[float, Tuple[bool, ...]]:
     """Supervisor-facing adapter: :func:`evaluate_sample` as raw payload.
 
     Module-level so it pickles by reference into spawn workers.
     """
     outcome = evaluate_sample(
-        base_platform, utilization, variants, generation, sample_seed, perf
+        base_platform, utilization, variants, generation, sample_seed, perf,
+        budget=budget,
     )
     return outcome.weight, outcome.verdicts
 

@@ -21,6 +21,21 @@ layers, ordered from cheapest to most drastic:
    (a hung worker cannot be cancelled any other way).  Guilty chunks go
    through the recovery rule below; innocent in-flight chunks are simply
    resubmitted.
+0. **In-process budgets.**  With ``settings.sample_budget`` set, every
+   sample's analyses carry a :class:`~repro.budget.Budget` and abort
+   *cooperatively* at the next iteration boundary once the per-sample
+   wall-clock allowance runs out, surfacing as a typed
+   :class:`~repro.errors.BudgetExceeded` instead of hanging until the
+   watchdog kills the whole pool.  Budget aborts are deterministic
+   properties of the sample (modulo machine speed), so they are
+   quarantined immediately with kind ``"budget"`` — no retries — while
+   every other sample in the chunk completes normally.  The watchdog
+   remains as a *fallback* for non-cooperative hangs (e.g. a bug looping
+   between budget checkpoints): when only ``sample_budget`` is set, each
+   chunk gets a derived allowance of ``sample_budget x chunk size x``
+   :data:`BUDGET_WATCHDOG_FACTOR` ``+`` :data:`BUDGET_WATCHDOG_GRACE`
+   seconds before the pool is killed.
+
 3. **Crash recovery.**  ``BrokenProcessPool`` (worker died: segfault,
    ``os._exit``, OOM kill) triggers a pool respawn.  The executor cannot
    say *which* worker died, so retry budget is charged only when guilt
@@ -67,7 +82,8 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import SweepInterrupted
+from repro.budget import Budget
+from repro.errors import AnalysisAborted, SweepInterrupted
 from repro.experiments.config import SweepSettings
 from repro.experiments.journal import RunJournal
 from repro.perf import PerfCounters, merge_global
@@ -85,6 +101,15 @@ BACKOFF_CAP = 2.0
 #: Poll granularity of the supervision loop, seconds.  Bounds both the
 #: watchdog's detection latency and the reaction time to SIGINT/SIGTERM.
 _WAIT_TICK = 0.2
+
+#: Watchdog-fallback multiplier on the per-sample budget: a chunk whose
+#: cooperative budgets should have fired long ago is declared hung once it
+#: exceeds ``sample_budget x chunk size x factor + grace`` seconds.
+BUDGET_WATCHDOG_FACTOR = 4.0
+
+#: Constant slack added to the derived watchdog allowance (absorbs worker
+#: spawn and import time for tiny budgets).
+BUDGET_WATCHDOG_GRACE = 5.0
 
 
 @dataclass(frozen=True)
@@ -108,7 +133,10 @@ class SampleFailure:
 
     ``kind`` is the failure taxonomy used throughout the resilience layer:
     ``"exception"`` (the analysis raised), ``"crash"`` (the worker process
-    died) or ``"hang"`` (the chunk exceeded its wall-clock budget).  The
+    died), ``"hang"`` (the chunk exceeded the watchdog's wall-clock
+    allowance) or ``"budget"`` (the sample's in-process
+    :class:`~repro.budget.Budget` ran out and the analysis aborted
+    cooperatively — never retried).  The
     ``seed`` is a complete reproducer — re-running
     ``evaluate_sample(platform, utilization, variants, generation, seed)``
     deterministically rebuilds the poison task set.
@@ -174,19 +202,38 @@ def run_chunk(args):
     Top-level so it is picklable under the spawn start method.  Ordinary
     exceptions are captured per sample — this function is the per-sample
     isolation boundary — while crashes and hangs by their nature escape it
-    and are handled by the supervisor.  Returns the result list plus the
-    chunk's perf counters for the parent to merge.
+    and are handled by the supervisor.  With a per-sample budget each item
+    gets a fresh :class:`~repro.budget.Budget`; a cooperative abort is
+    reported as a ``"budget"`` record so the supervisor can quarantine it
+    without charging retries.  Returns the result list plus the chunk's
+    perf counters for the parent to merge.
     """
-    evaluate, platform, variants, generation, chunk, fault = args
+    evaluate, platform, variants, generation, chunk, fault, sample_budget = args
     perf = PerfCounters()
     results: List[Tuple] = []
     for item, attempt in chunk:
+        budget = (
+            Budget(wall_seconds=sample_budget)
+            if sample_budget is not None
+            else None
+        )
         try:
             trigger_sweep_fault(fault, item.point, item.sample, attempt)
             weight, verdicts = evaluate(
-                platform, item.utilization, variants, generation, item.seed, perf
+                platform, item.utilization, variants, generation, item.seed,
+                perf, budget,
             )
             results.append(("ok", item.key, weight, tuple(verdicts)))
+        except AnalysisAborted as abort:
+            results.append(
+                (
+                    "budget",
+                    item.key,
+                    type(abort).__name__,
+                    str(abort),
+                    _digest(traceback.format_exc()),
+                )
+            )
         except Exception as error:  # noqa: BLE001 — the isolation boundary
             results.append(
                 (
@@ -221,8 +268,10 @@ class SweepSupervisor:
 
     Parameters mirror the worker contract: ``evaluate`` must be a
     module-level (picklable) callable with the signature
-    ``evaluate(platform, utilization, variants, generation, seed, perf)
-    -> (weight, verdicts)``.  ``journal`` (optional) receives every
+    ``evaluate(platform, utilization, variants, generation, seed, perf,
+    budget) -> (weight, verdicts)`` where ``budget`` is the item's
+    :class:`~repro.budget.Budget` or ``None`` when
+    ``settings.sample_budget`` is unset.  ``journal`` (optional) receives every
     completed or quarantined item as it happens; ``fault`` (optional)
     carries a deterministic :class:`~repro.verify.faults.SweepFault` into
     the workers for recovery-path testing.
@@ -286,6 +335,11 @@ class SweepSupervisor:
             self._check_interrupt()
             item = queue.popleft()
             attempt = attempts[item.key]
+            budget = (
+                Budget(wall_seconds=self.settings.sample_budget)
+                if self.settings.sample_budget is not None
+                else None
+            )
             try:
                 trigger_sweep_fault(self.fault, item.point, item.sample, attempt)
                 weight, verdicts = self.evaluate(
@@ -295,6 +349,20 @@ class SweepSupervisor:
                     self.generation,
                     item.seed,
                     perf,
+                    budget,
+                )
+            except AnalysisAborted as abort:
+                # Budget aborts are deterministic for the sample: straight
+                # to quarantine, no retry budget consumed.
+                attempts[item.key] += 1
+                self._quarantine(
+                    item,
+                    "budget",
+                    type(abort).__name__,
+                    str(abort),
+                    _digest(traceback.format_exc()),
+                    attempts[item.key],
+                    failures,
                 )
             except Exception as error:  # noqa: BLE001 — isolation boundary
                 attempts[item.key] += 1
@@ -368,6 +436,7 @@ class SweepSupervisor:
                                 self.generation,
                                 payload,
                                 self.fault,
+                                self.settings.sample_budget,
                             ),
                         )
                     except BrokenProcessPool:
@@ -415,7 +484,10 @@ class SweepSupervisor:
                         tiebreak,
                     )
                     continue
-                if self.settings.timeout is not None:
+                if (
+                    self.settings.timeout is not None
+                    or self.settings.sample_budget is not None
+                ):
                     executor = self._enforce_timeout(
                         executor,
                         futures,
@@ -457,6 +529,26 @@ class SweepSupervisor:
     def _backoff_delay(self, attempt: int) -> float:
         """Capped exponential backoff before the ``attempt``-th retry."""
         return min(self.settings.backoff * (2 ** (attempt - 1)), BACKOFF_CAP)
+
+    def _chunk_allowance(self, chunk: Tuple[WorkItem, ...]) -> Optional[float]:
+        """Wall-clock seconds this chunk may run before the watchdog fires.
+
+        ``settings.timeout`` wins when set (explicit per-chunk budget);
+        otherwise a generous fallback is derived from the in-process
+        sample budget, sized so it can only fire when cooperative aborts
+        have failed (a hang between budget checkpoints).  ``None``
+        disables the watchdog for this chunk.
+        """
+        if self.settings.timeout is not None:
+            return self.settings.timeout
+        if self.settings.sample_budget is not None:
+            return (
+                self.settings.sample_budget
+                * len(chunk)
+                * BUDGET_WATCHDOG_FACTOR
+                + BUDGET_WATCHDOG_GRACE
+            )
+        return None
 
     def _complete(
         self,
@@ -557,6 +649,15 @@ class SweepSupervisor:
             if result[0] == "ok":
                 _, key, weight, verdicts = result
                 self._complete(key, weight, verdicts, completed)
+            elif result[0] == "budget":
+                # Deterministic in-process abort: quarantine immediately,
+                # retries would only re-spend the same budget.
+                _, key, exception, message, digest = result
+                attempts[key] += 1
+                self._quarantine(
+                    by_key[key], "budget", exception, message, digest,
+                    attempts[key], failures,
+                )
             else:
                 _, key, exception, message, digest = result
                 self._retry_or_quarantine(
@@ -604,11 +705,13 @@ class SweepSupervisor:
                     )
             return
         exception = "WorkerCrashError" if kind == "crash" else "ChunkTimeoutError"
-        default_message = (
-            "worker process died while evaluating this sample"
-            if kind == "crash"
-            else f"chunk exceeded the {self.settings.timeout}s wall-clock budget"
-        )
+        if kind == "crash":
+            default_message = "worker process died while evaluating this sample"
+        else:
+            allowance = self._chunk_allowance(chunk)
+            default_message = (
+                f"chunk exceeded its {allowance}s wall-clock allowance"
+            )
         self._retry_or_quarantine(
             chunk[0],
             kind,
@@ -673,13 +776,13 @@ class SweepSupervisor:
         delayed: List,
         tiebreak,
     ) -> ProcessPoolExecutor:
-        """Kill the pool if any in-flight chunk exceeded its budget."""
+        """Kill the pool if any in-flight chunk exceeded its allowance."""
         now = time.monotonic()
-        overdue = {
-            future
-            for future, (_chunk, submitted) in futures.items()
-            if now - submitted > self.settings.timeout
-        }
+        overdue = set()
+        for future, (chunk, submitted) in futures.items():
+            allowance = self._chunk_allowance(chunk)
+            if allowance is not None and now - submitted > allowance:
+                overdue.add(future)
         if not overdue:
             return executor
         self._kill_executor(executor)

@@ -52,6 +52,9 @@ class PerfCounters:
     #: Interference-table constructions (one per task set on first use of
     #: the bitmask kernel; reused across runs through ``TaskSet.derived``).
     bitset_table_builds: int = 0
+    #: Analyses aborted cooperatively by a budget or cancel token (see
+    #: :mod:`repro.budget`) instead of running to a verdict.
+    budget_aborts: int = 0
     verify_cases: int = 0
     verify_shrink_steps: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -144,6 +147,8 @@ class PerfCounters:
                 f"outer rounds saved {self.warm_start_iterations_saved:>8d}   "
                 f"bitset tables {self.bitset_table_builds:>6d}"
             )
+        if self.budget_aborts:
+            lines.append(f"  budget aborts     {self.budget_aborts:>12d}")
         if self.verify_cases:
             lines.append(
                 f"  verify cases      {self.verify_cases:>12d}   "

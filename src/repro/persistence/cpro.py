@@ -28,6 +28,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
+from repro.budget import Budget
 from repro.errors import AnalysisError
 from repro.model.interference import InterferenceTable
 from repro.model.task import Task, TaskSet
@@ -315,14 +316,20 @@ class CproCalculator:
         n_jobs: int,
         window: int,
         carry_in: bool = False,
+        budget: Optional[Budget] = None,
     ) -> int:
         """Window-aware CPRO bound.
 
         Evaluates the multiset bound of :func:`cpro_multiset_window` (from
         the precomputed per-pair overlap table) for the ``MULTISET``
         approach and the window-oblivious :meth:`rho` otherwise.  The
-        multiset value never exceeds the union value.
+        multiset value never exceeds the union value.  ``budget`` adds one
+        cooperative cancellation point per fold — the multiset fold is the
+        most expensive straight-line stretch between two inner-iteration
+        ticks — without affecting the computed value.
         """
+        if budget is not None:
+            budget.check()
         if self._approach is not CproApproach.MULTISET:
             return self.rho(task_j, task_i, n_jobs)
         cap = self.rho(task_j, task_i, n_jobs)

@@ -24,6 +24,7 @@ import json
 from pathlib import Path
 from typing import Dict, Tuple, Union
 
+from repro.atomicio import atomic_write_text
 from repro.errors import ModelError
 from repro.model.platform import BusPolicy, CacheGeometry, Platform
 from repro.model.task import Task, TaskSet
@@ -214,8 +215,12 @@ def wcrt_result_from_json(text: str) -> Dict:
 def save_taskset(
     taskset: TaskSet, platform: Platform, path: PathLike
 ) -> None:
-    """Write a task set (and platform) to ``path`` as JSON."""
-    Path(path).write_text(taskset_to_json(taskset, platform))
+    """Write a task set (and platform) to ``path`` as JSON.
+
+    The write is atomic (tmp file + fsync + rename): a crash mid-write
+    cannot leave a truncated, unloadable task set behind.
+    """
+    atomic_write_text(path, taskset_to_json(taskset, platform))
 
 
 def load_taskset(path: PathLike) -> Tuple[TaskSet, Platform]:

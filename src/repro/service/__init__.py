@@ -1,0 +1,43 @@
+"""Long-running batch-analysis service (``python -m repro.service``).
+
+A small, dependency-free daemon that accepts JSON analysis requests over
+HTTP, executes them in a supervised worker pool with per-request deadline
+budgets (see :mod:`repro.budget`), and degrades gracefully under every
+failure mode the resilience layer knows about:
+
+* request validation mapped onto the :class:`~repro.errors.ModelError` /
+  :class:`~repro.errors.AnalysisError` taxonomy (HTTP 400),
+* bounded admission with backpressure (HTTP 429 + ``Retry-After``),
+* a circuit breaker around the worker pool that trips on repeated
+  :class:`~repro.errors.WorkerCrashError` and recovers through half-open
+  probes (HTTP 503 while open),
+* ``/healthz`` / ``/readyz`` / ``/stats`` endpoints wired to
+  :class:`~repro.perf.PerfCounters`,
+* SIGTERM graceful drain that finishes or quarantines in-flight requests
+  before exiting 0.
+
+See ``docs/SERVICE.md`` for the protocol and operational guide.
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.daemon import AnalysisService, ServiceConfig, serve
+from repro.service.pool import AnalysisPool, service_worker
+from repro.service.protocol import (
+    AnalysisRequest,
+    PROTOCOL_VERSION,
+    error_response,
+    parse_request,
+)
+
+__all__ = [
+    "AnalysisPool",
+    "AnalysisRequest",
+    "AnalysisService",
+    "CircuitBreaker",
+    "PROTOCOL_VERSION",
+    "ServiceConfig",
+    "error_response",
+    "parse_request",
+    "serve",
+    "service_worker",
+]

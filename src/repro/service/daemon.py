@@ -1,0 +1,453 @@
+"""The batch-analysis service core and its HTTP front end.
+
+:class:`AnalysisService` is the HTTP-free heart — ``handle(document)``
+implements validation, admission control, the circuit breaker, per-request
+budgets and quarantine bookkeeping, and is directly unit-testable.  The
+thin :func:`serve` wrapper exposes it over a stdlib
+``ThreadingHTTPServer``:
+
+===========  ======  ====================================================
+endpoint     method  behaviour
+===========  ======  ====================================================
+/analyze     POST    one request object, or ``{"requests": [...]}`` for a
+                     batch (processed sequentially per connection;
+                     concurrency comes from concurrent connections)
+/healthz     GET     liveness — 200 as long as the process serves
+/readyz      GET     readiness — 503 while draining or the breaker is open
+/stats       GET     counters, breaker state, quarantine log and the
+                     aggregated :class:`~repro.perf.PerfCounters`
+===========  ======  ====================================================
+
+Status mapping: 200 processed (including typed ``budget-exceeded`` /
+``cancelled`` outcomes — aborts are results, not transport failures), 400
+invalid request, 404 unknown path, 429 admission queue full (with
+``Retry-After``), 500 worker crash or internal analysis error, 503
+draining or breaker open, 504 watchdog kill.
+
+SIGTERM/SIGINT starts a graceful drain: readiness flips to 503 so load
+balancers stop sending work, in-flight requests get
+``drain_grace_seconds`` to finish, stragglers are quarantined (logged
+with their request ids), and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    AnalysisError,
+    ChunkTimeoutError,
+    ModelError,
+    WorkerCrashError,
+)
+from repro.perf import PerfCounters
+from repro.service.breaker import CircuitBreaker, OPEN
+from repro.service.pool import AnalysisPool
+from repro.service.protocol import error_response, parse_request
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs of the daemon, validated eagerly."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    workers: int = 1
+    #: Bounded admission: requests beyond this many in flight are rejected
+    #: with 429 instead of queueing unboundedly.
+    max_in_flight: int = 4
+    #: Budget applied to requests that do not carry their own.
+    default_budget: Optional[float] = None
+    #: Watchdog allowance for requests with no budget at all.
+    default_watchdog: Optional[float] = None
+    breaker_threshold: int = 3
+    breaker_reset_seconds: float = 5.0
+    breaker_probes: int = 1
+    #: How long a SIGTERM drain waits for in-flight requests.
+    drain_grace_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise AnalysisError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 1:
+            raise AnalysisError(f"workers must be >= 1, got {self.workers}")
+        if self.max_in_flight < 1:
+            raise AnalysisError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        for name in ("default_budget", "default_watchdog"):
+            value = getattr(self, name)
+            if value is not None and not (
+                isinstance(value, (int, float))
+                and math.isfinite(value)
+                and value > 0
+            ):
+                raise AnalysisError(
+                    f"{name} must be a positive number of seconds (or "
+                    f"None), got {value!r}"
+                )
+        if self.breaker_threshold < 1:
+            raise AnalysisError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_seconds <= 0:
+            raise AnalysisError(
+                f"breaker_reset_seconds must be positive, "
+                f"got {self.breaker_reset_seconds}"
+            )
+        if self.drain_grace_seconds < 0:
+            raise AnalysisError(
+                f"drain_grace_seconds must be non-negative, "
+                f"got {self.drain_grace_seconds}"
+            )
+
+
+@dataclass
+class ServiceStats:
+    """Request-level counters exposed through ``/stats``."""
+
+    accepted: int = 0
+    completed: int = 0
+    budget_aborted: int = 0
+    cancelled: int = 0
+    analysis_errors: int = 0
+    validation_errors: int = 0
+    rejected_busy: int = 0
+    rejected_breaker: int = 0
+    rejected_draining: int = 0
+    worker_crashes: int = 0
+    watchdog_kills: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class AnalysisService:
+    """HTTP-agnostic service core: validation, admission, breaker, pool."""
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        pool: Optional[AnalysisPool] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        self.config = config
+        self.pool = pool or AnalysisPool(
+            workers=config.workers, default_watchdog=config.default_watchdog
+        )
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            reset_seconds=config.breaker_reset_seconds,
+            half_open_probes=config.breaker_probes,
+        )
+        self.stats = ServiceStats()
+        self.perf = PerfCounters()
+        self._lock = threading.Lock()
+        self._tokens = itertools.count()
+        self._active: Dict[int, str] = {}
+        self._draining = threading.Event()
+        #: Requests that could not be completed normally: budget aborts,
+        #: watchdog kills and drain stragglers, with their reasons.
+        self.quarantined: List[Dict[str, str]] = []
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(self, document) -> Tuple[int, Dict]:
+        """Process one raw request document; returns (HTTP status, body)."""
+        if self._draining.is_set():
+            with self._lock:
+                self.stats.rejected_draining += 1
+            return 503, {
+                "status": "draining",
+                "message": "service is shutting down; retry elsewhere",
+            }
+        try:
+            request = parse_request(document)
+        except (ModelError, AnalysisError) as error:
+            with self._lock:
+                self.stats.validation_errors += 1
+            return 400, error_response(
+                document.get("id", "") if isinstance(document, dict) else "",
+                error,
+            )
+        effective = dict(document)
+        if (
+            request.budget_seconds is None
+            and self.config.default_budget is not None
+        ):
+            effective["budget_seconds"] = self.config.default_budget
+        with self._lock:
+            if len(self._active) >= self.config.max_in_flight:
+                self.stats.rejected_busy += 1
+                return 429, {
+                    "status": "busy",
+                    "id": request.request_id,
+                    "message": (
+                        f"admission queue full "
+                        f"({self.config.max_in_flight} in flight)"
+                    ),
+                    "retry_after": 1,
+                }
+            token = next(self._tokens)
+            self._active[token] = request.request_id
+            self.stats.accepted += 1
+        try:
+            if not self.breaker.allow():
+                with self._lock:
+                    self.stats.rejected_breaker += 1
+                return 503, {
+                    "status": "breaker-open",
+                    "id": request.request_id,
+                    "message": (
+                        "worker pool circuit breaker is open after repeated "
+                        "crashes; retry after the cool-down"
+                    ),
+                    "retry_after": self.breaker.reset_seconds,
+                }
+            return self._execute(request.request_id, effective)
+        finally:
+            with self._lock:
+                self._active.pop(token, None)
+
+    def _execute(self, request_id: str, document: Dict) -> Tuple[int, Dict]:
+        """Run one admitted request through the pool and classify it."""
+        try:
+            response, perf = self.pool.run(document)
+        except WorkerCrashError as error:
+            self.breaker.record_failure()
+            with self._lock:
+                self.stats.worker_crashes += 1
+            return 500, error_response(request_id, error)
+        except ChunkTimeoutError as error:
+            self.breaker.record_failure()
+            with self._lock:
+                self.stats.watchdog_kills += 1
+            self._quarantine(request_id, "watchdog-kill")
+            return 504, error_response(request_id, error)
+        self.breaker.record_success()
+        with self._lock:
+            self.perf.merge(perf)
+            status = response.get("status")
+            if status == "ok":
+                self.stats.completed += 1
+            elif status == "budget-exceeded":
+                self.stats.budget_aborted += 1
+            elif status == "cancelled":
+                self.stats.cancelled += 1
+            else:
+                self.stats.analysis_errors += 1
+        if status in ("budget-exceeded", "cancelled"):
+            self._quarantine(request_id, status)
+            return 200, response
+        if status == "error":
+            return 500, response
+        return 200, response
+
+    def handle_batch(self, documents) -> Tuple[int, Dict]:
+        """Process ``{"requests": [...]}`` sequentially; always 200."""
+        if not isinstance(documents, list):
+            return 400, error_response(
+                "", ModelError("'requests' must be an array")
+            )
+        responses = []
+        for document in documents:
+            _status, body = self.handle(document)
+            responses.append(body)
+        return 200, {"responses": responses}
+
+    def _quarantine(self, request_id: str, reason: str) -> None:
+        entry = {"id": request_id, "reason": reason}
+        with self._lock:
+            self.quarantined.append(entry)
+        print(
+            f"repro-service: quarantined request {request_id!r} ({reason})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    # -- probes and stats ----------------------------------------------------
+
+    def healthz(self) -> Tuple[int, Dict]:
+        """Liveness: 200 while the process can answer at all."""
+        return 200, {"status": "ok"}
+
+    def readyz(self) -> Tuple[int, Dict]:
+        """Readiness: 503 while draining or the breaker is open."""
+        if self._draining.is_set():
+            return 503, {"status": "draining"}
+        if self.breaker.state == OPEN:
+            return 503, {"status": "breaker-open"}
+        return 200, {"status": "ready"}
+
+    def stats_document(self) -> Dict:
+        """The ``/stats`` body: counters, breaker, quarantine, perf."""
+        with self._lock:
+            perf = {
+                name: getattr(self.perf, name)
+                for name in PerfCounters._INT_FIELDS
+            }
+            return {
+                "requests": self.stats.to_dict(),
+                "in_flight": len(self._active),
+                "draining": self._draining.is_set(),
+                "breaker": {
+                    "state": self.breaker.state,
+                    "trips": self.breaker.trips,
+                },
+                "quarantined": list(self.quarantined),
+                "perf": perf,
+            }
+
+    # -- drain ----------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; readiness flips to 503 immediately."""
+        self._draining.set()
+
+    def drain(self, grace_seconds: Optional[float] = None) -> bool:
+        """Wait for in-flight requests; quarantine stragglers.
+
+        Returns ``True`` when everything finished within the grace period.
+        """
+        self.begin_drain()
+        grace = (
+            self.config.drain_grace_seconds
+            if grace_seconds is None
+            else grace_seconds
+        )
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._active:
+                    return True
+            time.sleep(0.05)
+        with self._lock:
+            stragglers = list(self._active.values())
+        for request_id in stragglers:
+            self._quarantine(request_id, "drain-timeout")
+        return not stragglers
+
+    def close(self) -> None:
+        """Release the worker pool."""
+        self.pool.close()
+
+
+# -- HTTP front end -----------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto one shared :class:`AnalysisService`."""
+
+    service: AnalysisService  # injected by serve()
+    quiet = True
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if not self.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send(self, status: int, document: Dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        retry_after = document.get("retry_after")
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+        if self.path == "/healthz":
+            self._send(*self.service.healthz())
+        elif self.path == "/readyz":
+            self._send(*self.service.readyz())
+        elif self.path == "/stats":
+            self._send(200, self.service.stats_document())
+        else:
+            self._send(404, {"status": "not-found", "path": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib casing
+        if self.path != "/analyze":
+            self._send(404, {"status": "not-found", "path": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            document = json.loads(self.rfile.read(length) or b"null")
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send(400, error_response("", ModelError(f"bad JSON: {error}")))
+            return
+        if isinstance(document, dict) and "requests" in document:
+            self._send(*self.service.handle_batch(document["requests"]))
+        else:
+            self._send(*self.service.handle(document))
+
+
+def serve(
+    config: ServiceConfig = ServiceConfig(),
+    service: Optional[AnalysisService] = None,
+) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns the process exit code.
+
+    Prints ``repro-service: listening on http://HOST:PORT`` once the
+    socket is bound (with the real port when ``port=0`` asked the OS to
+    pick one), so wrappers can scrape the address.
+    """
+    service = service or AnalysisService(config)
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((config.host, config.port), handler)
+    server.daemon_threads = True
+    drained = threading.Event()
+
+    def _shutdown() -> None:
+        clean = service.drain()
+        if not clean:
+            print(
+                "repro-service: drain grace expired; stragglers quarantined",
+                file=sys.stderr,
+                flush=True,
+            )
+        drained.set()
+        server.shutdown()
+
+    def _on_signal(signum, _frame) -> None:
+        name = signal.Signals(signum).name
+        print(
+            f"repro-service: {name} received, draining...",
+            file=sys.stderr,
+            flush=True,
+        )
+        # Drain off the signal handler's thread: shutdown() would deadlock
+        # if called from within serve_forever's own thread context.
+        threading.Thread(target=_shutdown, daemon=True).start()
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    host, port = server.server_address[:2]
+    print(
+        f"repro-service: listening on http://{host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        server.server_close()
+        service.close()
+    print("repro-service: drained, exiting", flush=True)
+    return 0

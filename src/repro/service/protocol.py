@@ -1,0 +1,229 @@
+"""Request/response protocol of the batch-analysis service.
+
+One request analyses one task set::
+
+    {
+      "id": "job-17",                      # caller-chosen correlation id
+      "taskset": { ... },                  # "repro-taskset" envelope
+                                           # (see repro.serialization)
+      "config": {"persistence": true},     # optional AnalysisConfig fields
+      "budget_seconds": 2.0,               # optional per-request deadline
+      "max_iterations": 100000             # optional iteration ceiling
+    }
+
+Validation maps onto the library's error taxonomy: structurally malformed
+documents (bad JSON shape, unknown format tag, broken task records) raise
+:class:`~repro.errors.ModelError`; semantically invalid knobs (negative
+budgets, unknown config fields or injection kinds) raise
+:class:`~repro.errors.AnalysisError`.  The daemon converts both into
+HTTP 400 with a typed body.
+
+Responses always carry ``id``, ``status`` and the protocol ``version``.
+``status`` is one of ``"ok"`` (with the WCRT verdict),
+``"budget-exceeded"`` / ``"cancelled"`` (with the partial estimates,
+iterations spent and elapsed seconds) or ``"error"`` (with the error class
+and message).
+
+The test-only ``inject`` field (``"hang"`` spins cooperatively inside the
+request's budget; ``"crash"`` kills the worker process) exists so the
+recovery paths can be demonstrated end-to-end — see
+``scripts/service_smoke.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.crpd.approaches import CrpdApproach
+from repro.errors import AnalysisAborted, AnalysisError, Cancelled, ModelError
+from repro.model.platform import Platform
+from repro.model.task import TaskSet
+from repro.persistence.cpro import CproApproach
+from repro.serialization import (
+    FORMAT_VERSION,
+    platform_from_dict,
+    task_from_dict,
+)
+
+#: Version stamped into every response document.
+PROTOCOL_VERSION = 1
+
+#: Test-only fault injections a request may carry.
+INJECT_KINDS = ("hang", "crash")
+
+_TASKSET_TAG = "repro-taskset"
+
+#: AnalysisConfig fields settable through the wire protocol, with their
+#: converters.  Iteration ceilings are deliberately absent: the service's
+#: own budget/deadline layer owns resource limits.
+_CONFIG_FIELDS = {
+    "persistence": bool,
+    "persistence_in_low": bool,
+    "tdma_slot_alignment": bool,
+    "memoization": bool,
+    "bitset_kernel": bool,
+    "warm_start": bool,
+    "crpd_approach": CrpdApproach,
+    "cpro_approach": CproApproach,
+}
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One validated analysis request."""
+
+    request_id: str
+    taskset: TaskSet
+    platform: Platform
+    config: AnalysisConfig
+    budget_seconds: Optional[float] = None
+    max_iterations: Optional[int] = None
+    inject: Optional[str] = None
+
+
+def _parse_taskset(document) -> Tuple[TaskSet, Platform]:
+    """Parse the embedded ``repro-taskset`` envelope (dict form)."""
+    if not isinstance(document, dict):
+        raise ModelError(
+            f"'taskset' must be a repro-taskset object, "
+            f"got {type(document).__name__}"
+        )
+    if document.get("format") != _TASKSET_TAG:
+        raise ModelError(
+            f"unexpected taskset format tag {document.get('format')!r}; "
+            f"expected {_TASKSET_TAG!r}"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported taskset format version {document.get('version')!r}"
+        )
+    platform = platform_from_dict(document.get("platform", {}))
+    tasks = [task_from_dict(record) for record in document.get("tasks", [])]
+    if not tasks:
+        raise ModelError("taskset holds no tasks")
+    return TaskSet(tasks), platform
+
+
+def _parse_config(document) -> AnalysisConfig:
+    """Build an :class:`AnalysisConfig` from the request's config dict."""
+    if document is None:
+        return AnalysisConfig()
+    if not isinstance(document, dict):
+        raise AnalysisError(
+            f"'config' must be an object, got {type(document).__name__}"
+        )
+    kwargs = {}
+    for key, value in document.items():
+        converter = _CONFIG_FIELDS.get(key)
+        if converter is None:
+            known = ", ".join(sorted(_CONFIG_FIELDS))
+            raise AnalysisError(
+                f"unknown analysis config field {key!r}; known: {known}"
+            )
+        try:
+            kwargs[key] = converter(value)
+        except ValueError as error:
+            raise AnalysisError(
+                f"invalid value for config field {key!r}: {error}"
+            ) from None
+    return AnalysisConfig(**kwargs)
+
+
+def parse_request(document) -> AnalysisRequest:
+    """Validate a raw request document into an :class:`AnalysisRequest`.
+
+    Raises :class:`~repro.errors.ModelError` for structural problems and
+    :class:`~repro.errors.AnalysisError` for invalid parameter values, so
+    the daemon (and any other front end) can map validation failures onto
+    the library's taxonomy without string matching.
+    """
+    if not isinstance(document, dict):
+        raise ModelError(
+            f"request must be a JSON object, got {type(document).__name__}"
+        )
+    request_id = document.get("id", "")
+    if not isinstance(request_id, str):
+        raise ModelError(f"'id' must be a string, got {request_id!r}")
+    if "taskset" not in document:
+        raise ModelError("request is missing the 'taskset' envelope")
+    taskset, platform = _parse_taskset(document["taskset"])
+    config = _parse_config(document.get("config"))
+    budget_seconds = document.get("budget_seconds")
+    if budget_seconds is not None:
+        if not isinstance(budget_seconds, (int, float)) or isinstance(
+            budget_seconds, bool
+        ) or not budget_seconds > 0:
+            raise AnalysisError(
+                f"'budget_seconds' must be a positive number, "
+                f"got {budget_seconds!r}"
+            )
+        budget_seconds = float(budget_seconds)
+    max_iterations = document.get("max_iterations")
+    if max_iterations is not None:
+        if not isinstance(max_iterations, int) or isinstance(
+            max_iterations, bool
+        ) or max_iterations <= 0:
+            raise AnalysisError(
+                f"'max_iterations' must be a positive integer, "
+                f"got {max_iterations!r}"
+            )
+    inject = document.get("inject")
+    if inject is not None and inject not in INJECT_KINDS:
+        raise AnalysisError(
+            f"unknown inject kind {inject!r}; known: {', '.join(INJECT_KINDS)}"
+        )
+    return AnalysisRequest(
+        request_id=request_id,
+        taskset=taskset,
+        platform=platform,
+        config=config,
+        budget_seconds=budget_seconds,
+        max_iterations=max_iterations,
+        inject=inject,
+    )
+
+
+def ok_response(request_id: str, result) -> Dict:
+    """Success response carrying the WCRT verdict."""
+    return {
+        "version": PROTOCOL_VERSION,
+        "id": request_id,
+        "status": "ok",
+        "schedulable": result.schedulable,
+        "outer_iterations": result.outer_iterations,
+        "failed_task": result.failed_task.name if result.failed_task else None,
+        "response_times": {
+            task.name: bound for task, bound in result.response_times.items()
+        },
+    }
+
+
+def abort_response(request_id: str, abort: AnalysisAborted) -> Dict:
+    """Typed partial result of a budget-exceeded or cancelled analysis."""
+    partial = abort.partial
+    return {
+        "version": PROTOCOL_VERSION,
+        "id": request_id,
+        "status": "cancelled" if isinstance(abort, Cancelled) else "budget-exceeded",
+        "message": str(abort),
+        "iterations": abort.iterations,
+        "elapsed_seconds": abort.elapsed,
+        "partial_response_times": (
+            {task.name: bound for task, bound in partial.response_times.items()}
+            if partial is not None
+            else {}
+        ),
+    }
+
+
+def error_response(request_id: str, error: Exception) -> Dict:
+    """Failure response naming the error class for typed client handling."""
+    return {
+        "version": PROTOCOL_VERSION,
+        "id": request_id,
+        "status": "error",
+        "error": type(error).__name__,
+        "message": str(error),
+    }

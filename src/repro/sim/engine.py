@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.budget import Budget
 from repro.errors import SimulationError
 from repro.model.platform import BusPolicy, Platform
 from repro.model.task import Task
@@ -112,10 +113,15 @@ class MulticoreSimulator:
         releases: Optional[ReleasePlan] = None,
         duration: int = 1_000_000,
         horizon: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ):
         self.workload = workload
         self.platform = platform
         self.duration = duration
+        #: Optional :class:`~repro.budget.Budget`, ticked once per event:
+        #: an over-budget or cancelled simulation aborts between events
+        #: with the typed error instead of running to its horizon.
+        self.budget = budget
         self.horizon = horizon if horizon is not None else 4 * duration
         self._releases = releases or periodic_releases(workload.taskset, duration)
         self._events: List[Tuple[int, int, int, object]] = []
@@ -157,7 +163,12 @@ class MulticoreSimulator:
                     record=record,
                 )
                 self._schedule(release, _RELEASE, job)
+        budget = self.budget
+        if budget is not None:
+            budget.start()
         while self._events:
+            if budget is not None:
+                budget.tick()
             time, _, kind, payload = heapq.heappop(self._events)
             if time > self.horizon:
                 break
@@ -332,10 +343,16 @@ def simulate(
     jitter: float = 0.0,
     rng: Optional[random.Random] = None,
     horizon: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build releases, run one simulation."""
     releases = periodic_releases(workload.taskset, duration, jitter, rng)
     simulator = MulticoreSimulator(
-        workload, platform, releases=releases, duration=duration, horizon=horizon
+        workload,
+        platform,
+        releases=releases,
+        duration=duration,
+        horizon=horizon,
+        budget=budget,
     )
     return simulator.run()

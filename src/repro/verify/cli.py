@@ -9,6 +9,10 @@ Two subcommands::
 reproducers into a corpus directory); ``replay`` re-checks every corpus
 entry and fails on any regression.  Both exit non-zero on violations, so
 they slot directly into CI gates.
+
+Exit codes follow :mod:`repro.exitcodes`: 0 all oracles passed, 1
+soundness violations found, 2 invalid command line or corpus entry,
+3 analysis error during a campaign, 4 execution error.
 """
 
 from __future__ import annotations
@@ -19,7 +23,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.errors import AnalysisError, ModelError
+from repro.errors import AnalysisError, ModelError, ReproError
+from repro.exitcodes import EXIT_USAGE, exit_code_for
 from repro.model.platform import BusPolicy
 from repro.perf import global_counters, reset_global_counters
 from repro.verify.cases import CASE_KINDS
@@ -138,8 +143,14 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def _run_fuzz(args: argparse.Namespace) -> int:
-    budget = parse_budget(args.budget) if args.budget is not None else None
-    policies = _parse_policies(args.policies)
+    try:
+        # Validation phase: malformed flags are usage errors (exit 2)
+        # whatever error class carries them.
+        budget = parse_budget(args.budget) if args.budget is not None else None
+        policies = _parse_policies(args.policies)
+    except (AnalysisError, ModelError) as error:
+        print(f"repro-verify: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
     kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
     if args.profile:
         reset_global_counters()
@@ -188,9 +199,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "fuzz":
             return _run_fuzz(args)
         return _run_replay(args)
-    except (AnalysisError, ModelError) as error:
+    except ModelError as error:
+        # Malformed corpus entries / task-set documents: usage error.
         print(f"repro-verify: error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except ReproError as error:
+        print(f"repro-verify: error: {error}", file=sys.stderr)
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

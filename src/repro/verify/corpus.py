@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.atomicio import atomic_write_text
 from repro.errors import ModelError
 from repro.verify.cases import case_from_dict, case_to_dict
 from repro.verify.oracles import always_replay_oracles, run_oracles
@@ -92,7 +93,7 @@ def save_entry(entry: CorpusEntry, corpus_dir: PathLike) -> Path:
     directory = Path(corpus_dir)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / entry_name(entry)
-    path.write_text(entry.to_json())
+    atomic_write_text(path, entry.to_json())
     return path
 
 

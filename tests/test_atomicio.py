@@ -1,0 +1,75 @@
+"""Crash-safety tests of :mod:`repro.atomicio`.
+
+Every JSON artifact the repo persists (saved task sets, corpus entries,
+benchmark thresholds) goes through the atomic tmp+fsync+rename recipe, so
+a reader can never observe a truncated file and a failed write leaves the
+previous contents intact.
+"""
+
+import json
+import os
+import random
+from unittest import mock
+
+import pytest
+
+from repro.atomicio import atomic_write_json, atomic_write_text
+from repro.experiments import default_platform
+from repro.generation import generate_taskset
+from repro.serialization import load_taskset, save_taskset
+
+
+class TestAtomicWrite:
+    def test_writes_new_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_json_form_appends_newline(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"b": 2, "a": 1}, indent=2, sort_keys=True)
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+    def test_failed_write_leaves_target_and_no_droppings(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with mock.patch("os.replace", side_effect=OSError("disk full")):
+            with pytest.raises(OSError):
+                atomic_write_text(target, "half-")
+        assert target.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]  # tmp file cleaned up
+
+    def test_no_temporary_survives_a_successful_write(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "done")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestSaveTasksetIsAtomic:
+    def test_round_trip_still_exact(self, tmp_path):
+        platform = default_platform()
+        taskset = generate_taskset(random.Random(9), platform, 0.4)
+        path = tmp_path / "set.json"
+        save_taskset(taskset, platform, path)
+        loaded, loaded_platform = load_taskset(path)
+        assert [t.name for t in loaded] == [t.name for t in taskset]
+        assert loaded_platform == platform
+
+    def test_failed_save_preserves_the_previous_file(self, tmp_path):
+        platform = default_platform()
+        taskset = generate_taskset(random.Random(9), platform, 0.4)
+        path = tmp_path / "set.json"
+        save_taskset(taskset, platform, path)
+        before = path.read_text()
+        with mock.patch("os.replace", side_effect=OSError("kill -9")):
+            with pytest.raises(OSError):
+                save_taskset(taskset, platform, path)
+        assert path.read_text() == before

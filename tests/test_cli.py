@@ -91,7 +91,9 @@ class TestResilienceCli:
     def test_nonempty_journal_without_resume_is_refused(self, capsys, tmp_path):
         assert main(["fig2", "--samples", "2", "--journal", str(tmp_path)]) == 0
         capsys.readouterr()
-        assert main(["fig2", "--samples", "2", "--journal", str(tmp_path)]) == 2
+        # JournalError is an ExecutionError raised from the run phase, so
+        # it maps to the execution exit code (see repro.exitcodes).
+        assert main(["fig2", "--samples", "2", "--journal", str(tmp_path)]) == 4
         err = capsys.readouterr().err
         assert "repro-experiments: error:" in err and "--resume" in err
 

@@ -26,6 +26,7 @@ import pytest
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.wcrt import analyze_taskset
+from repro.budget import Budget
 from repro.crpd.approaches import CrpdApproach
 from repro.experiments.config import default_platform
 from repro.generation.taskset_gen import generate_taskset
@@ -151,6 +152,52 @@ class TestBitsetKernelIsInvisible:
             taskset, base, AnalysisConfig(bitset_kernel=True)
         )
         assert result.perf.bitset_table_builds == 1
+
+
+class TestBudgetIsInvisible:
+    """A budget generous enough to finish must never perturb a result.
+
+    Ticks only count and compare (see :mod:`repro.budget`), so a
+    completed analysis under an active budget has to be bit-identical to
+    the budget-less run — same verdict, same per-task bounds, same outer
+    iteration count.  The abort-side properties (partial results, cache
+    soundness after aborts) live in ``tests/test_budget.py``.
+    """
+
+    @pytest.mark.parametrize("seed,utilization", SAMPLE_GRID[::3])
+    def test_default_analysis_identical(self, seed, utilization):
+        base = default_platform()
+        config = AnalysisConfig()
+        for policy in BusPolicy:
+            platform = base.with_bus_policy(policy)
+            taskset = generate_taskset(random.Random(seed), base, utilization)
+            plain = analyze_taskset(taskset, platform, config)
+            budget = Budget(max_iterations=10**9, wall_seconds=3600.0)
+            budgeted = analyze_taskset(
+                taskset, platform, config, budget=budget
+            )
+            assert budgeted == plain
+            assert budget.iterations > 0
+
+    @pytest.mark.parametrize("crpd", list(CrpdApproach))
+    @pytest.mark.parametrize("cpro", list(CproApproach))
+    def test_every_crpd_cpro_combination_identical(self, crpd, cpro):
+        base = default_platform()
+        config = AnalysisConfig(crpd_approach=crpd, cpro_approach=cpro)
+        for seed in range(3):
+            taskset = generate_taskset(
+                random.Random(700 + seed), base, 0.35 + 0.15 * seed
+            )
+            for policy in (BusPolicy.FP, BusPolicy.RR):
+                platform = base.with_bus_policy(policy)
+                plain = analyze_taskset(taskset, platform, config)
+                budgeted = analyze_taskset(
+                    taskset,
+                    platform,
+                    config,
+                    budget=Budget(max_iterations=10**9),
+                )
+                assert budgeted == plain
 
 
 class TestWarmStartIsInvisible:

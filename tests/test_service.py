@@ -1,0 +1,420 @@
+"""Unit tests of the batch-analysis service core (no HTTP, no processes).
+
+The daemon's heart — :class:`repro.service.AnalysisService` — is exercised
+directly with stub worker pools, so every admission / breaker / drain path
+runs in milliseconds and deterministically.  The end-to-end counterpart
+against a real daemon process is ``scripts/service_smoke.py`` (CI's
+``service-smoke`` job).
+"""
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ChunkTimeoutError,
+    ModelError,
+    WorkerCrashError,
+)
+from repro.experiments import default_platform
+from repro.generation import generate_taskset
+from repro.perf import PerfCounters
+from repro.serialization import taskset_to_json
+from repro.service import (
+    AnalysisRequest,
+    AnalysisService,
+    CircuitBreaker,
+    PROTOCOL_VERSION,
+    ServiceConfig,
+    parse_request,
+)
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.service.pool import service_worker
+
+
+@pytest.fixture(scope="module")
+def envelope():
+    platform = default_platform()
+    taskset = generate_taskset(random.Random(5), platform, 0.3)
+    return json.loads(taskset_to_json(taskset, platform))
+
+
+def request_document(envelope, **extra):
+    document = {"id": "req-1", "taskset": envelope}
+    document.update(extra)
+    return document
+
+
+class TestProtocolValidation:
+    def test_valid_request_parses(self, envelope):
+        request = parse_request(
+            request_document(
+                envelope,
+                config={"persistence": True},
+                budget_seconds=2.5,
+                max_iterations=100,
+            )
+        )
+        assert isinstance(request, AnalysisRequest)
+        assert request.request_id == "req-1"
+        assert request.budget_seconds == 2.5
+        assert request.max_iterations == 100
+        assert request.config.persistence is True
+        assert len(request.taskset) > 0
+
+    def test_non_object_request_is_a_model_error(self):
+        with pytest.raises(ModelError, match="JSON object"):
+            parse_request(["not", "a", "request"])
+
+    def test_missing_taskset_is_a_model_error(self):
+        with pytest.raises(ModelError, match="taskset"):
+            parse_request({"id": "x"})
+
+    def test_wrong_format_tag_is_a_model_error(self, envelope):
+        broken = dict(envelope, format="not-a-taskset")
+        with pytest.raises(ModelError, match="format tag"):
+            parse_request(request_document(broken))
+
+    def test_empty_taskset_is_a_model_error(self, envelope):
+        broken = dict(envelope, tasks=[])
+        with pytest.raises(ModelError, match="no tasks"):
+            parse_request(request_document(broken))
+
+    def test_unknown_config_field_is_an_analysis_error(self, envelope):
+        with pytest.raises(AnalysisError, match="unknown analysis config"):
+            parse_request(
+                request_document(envelope, config={"turbo_mode": True})
+            )
+
+    @pytest.mark.parametrize("value", [0, -1, "fast", True])
+    def test_bad_budget_is_an_analysis_error(self, envelope, value):
+        with pytest.raises(AnalysisError, match="budget_seconds"):
+            parse_request(request_document(envelope, budget_seconds=value))
+
+    @pytest.mark.parametrize("value", [0, -3, 1.5, True])
+    def test_bad_iteration_ceiling_is_an_analysis_error(self, envelope, value):
+        with pytest.raises(AnalysisError, match="max_iterations"):
+            parse_request(request_document(envelope, max_iterations=value))
+
+    def test_unknown_inject_kind_is_an_analysis_error(self, envelope):
+        with pytest.raises(AnalysisError, match="inject"):
+            parse_request(request_document(envelope, inject="segfault"))
+
+
+class TestServiceWorker:
+    """The worker function itself, run in-process for speed."""
+
+    def test_ok_response(self, envelope):
+        response, perf = service_worker(request_document(envelope))
+        assert response["status"] == "ok"
+        assert response["version"] == PROTOCOL_VERSION
+        assert response["id"] == "req-1"
+        assert isinstance(response["schedulable"], bool)
+        assert response["response_times"]
+        assert isinstance(perf, PerfCounters)
+        assert perf.analyses == 1
+
+    def test_budget_abort_response_carries_partials(self, envelope):
+        response, perf = service_worker(
+            request_document(envelope, max_iterations=2)
+        )
+        assert response["status"] == "budget-exceeded"
+        assert response["iterations"] == 3
+        assert response["partial_response_times"]
+        assert perf.budget_aborts == 1
+
+    def test_analysis_failure_is_data_not_an_exception(self, envelope):
+        # Validation runs inside the worker too (the document crosses a
+        # process boundary in production) — a bad document must come back
+        # as an error *response*, never as a raised exception.
+        response, _perf = service_worker(
+            {"id": "bad", "taskset": {"format": "nope"}}
+        )
+        assert response["status"] == "error"
+        assert response["error"] == "ModelError"
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_seconds=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.now = 10.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # consumes the single probe slot
+        assert not breaker.allow()  # no more probes until a verdict
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_restarts_the_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_seconds=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        clock.now = 9.0
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.allow()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_seconds=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class StubPool:
+    """In-process stand-in for :class:`AnalysisPool`."""
+
+    def __init__(self, outcome=None):
+        #: Either a (response, perf) tuple, an exception to raise, or a
+        #: callable(document) deciding per request.
+        self.outcome = outcome
+        self.calls = 0
+        self.closed = False
+
+    def run(self, document):
+        self.calls += 1
+        outcome = self.outcome
+        if callable(outcome):
+            outcome = outcome(document)
+        if isinstance(outcome, Exception):
+            raise outcome
+        if outcome is None:
+            return service_worker(document)
+        return outcome
+
+    def close(self):
+        self.closed = True
+
+
+def make_service(pool=None, breaker=None, **config):
+    return AnalysisService(
+        ServiceConfig(**config), pool=pool or StubPool(), breaker=breaker
+    )
+
+
+class TestServiceConfig:
+    def test_rejects_invalid_knobs(self):
+        with pytest.raises(AnalysisError):
+            ServiceConfig(port=-1)
+        with pytest.raises(AnalysisError):
+            ServiceConfig(workers=0)
+        with pytest.raises(AnalysisError):
+            ServiceConfig(max_in_flight=0)
+        with pytest.raises(AnalysisError):
+            ServiceConfig(default_budget=-2.0)
+        with pytest.raises(AnalysisError):
+            ServiceConfig(breaker_reset_seconds=0)
+
+
+class TestServiceHandle:
+    def test_ok_request_completes(self, envelope):
+        service = make_service()
+        status, body = service.handle(request_document(envelope))
+        assert status == 200
+        assert body["status"] == "ok"
+        assert service.stats.completed == 1
+        assert service.perf.analyses == 1
+
+    def test_invalid_request_is_400_with_typed_body(self, envelope):
+        service = make_service()
+        status, body = service.handle({"id": "bad"})
+        assert status == 400
+        assert body["error"] == "ModelError"
+        assert service.stats.validation_errors == 1
+
+    def test_budget_abort_is_processed_and_quarantined(self, envelope):
+        service = make_service()
+        status, body = service.handle(
+            request_document(envelope, max_iterations=1)
+        )
+        assert status == 200  # a typed outcome, not a transport failure
+        assert body["status"] == "budget-exceeded"
+        assert service.stats.budget_aborted == 1
+        assert service.quarantined == [
+            {"id": "req-1", "reason": "budget-exceeded"}
+        ]
+
+    def test_default_budget_applies_when_request_has_none(self, envelope):
+        seen = {}
+
+        def spy(document):
+            seen.update(document)
+            return service_worker(document)
+
+        service = make_service(pool=StubPool(spy), default_budget=7.5)
+        service.handle(request_document(envelope))
+        assert seen["budget_seconds"] == 7.5
+        # An explicit budget wins over the default.
+        service.handle(request_document(envelope, budget_seconds=1.0))
+        assert seen["budget_seconds"] == 1.0
+
+    def test_worker_crash_is_500_and_feeds_the_breaker(self, envelope):
+        service = make_service(
+            pool=StubPool(WorkerCrashError("worker died")),
+            breaker_threshold=2,
+        )
+        status, body = service.handle(request_document(envelope))
+        assert (status, body["error"]) == (500, "WorkerCrashError")
+        status, _body = service.handle(request_document(envelope))
+        assert status == 500
+        assert service.breaker.state == OPEN
+        # Tripped breaker: requests are refused before touching the pool.
+        status, body = service.handle(request_document(envelope))
+        assert (status, body["status"]) == (503, "breaker-open")
+        assert service.stats.rejected_breaker == 1
+        assert service.readyz()[0] == 503
+
+    def test_watchdog_kill_is_504_and_quarantined(self, envelope):
+        service = make_service(pool=StubPool(ChunkTimeoutError("hung")))
+        status, body = service.handle(request_document(envelope))
+        assert (status, body["error"]) == (504, "ChunkTimeoutError")
+        assert service.stats.watchdog_kills == 1
+        assert service.quarantined == [
+            {"id": "req-1", "reason": "watchdog-kill"}
+        ]
+
+    def test_admission_bound_gives_429(self, envelope):
+        gate = threading.Event()
+        release = threading.Event()
+
+        def blocking(document):
+            gate.set()
+            release.wait(timeout=30)
+            return service_worker(document)
+
+        service = make_service(pool=StubPool(blocking), max_in_flight=1)
+        results = {}
+        worker = threading.Thread(
+            target=lambda: results.update(
+                first=service.handle(request_document(envelope))
+            )
+        )
+        worker.start()
+        try:
+            assert gate.wait(timeout=30)
+            status, body = service.handle(request_document(envelope))
+            assert (status, body["status"]) == (429, "busy")
+            assert body["retry_after"] == 1
+            assert service.stats.rejected_busy == 1
+        finally:
+            release.set()
+            worker.join(timeout=30)
+        assert results["first"][0] == 200
+
+    def test_batch_processes_every_document(self, envelope):
+        service = make_service()
+        status, body = service.handle_batch(
+            [request_document(envelope), {"id": "broken"}]
+        )
+        assert status == 200
+        statuses = [entry["status"] for entry in body["responses"]]
+        assert statuses == ["ok", "error"]
+
+    def test_stats_document_shape(self, envelope):
+        service = make_service()
+        service.handle(request_document(envelope))
+        document = service.stats_document()
+        assert document["requests"]["completed"] == 1
+        assert document["in_flight"] == 0
+        assert document["breaker"]["state"] == CLOSED
+        assert document["perf"]["analyses"] == 1
+        json.dumps(document)  # must be wire-serialisable as-is
+
+
+class TestDrain:
+    def test_draining_rejects_new_work(self, envelope):
+        service = make_service()
+        service.begin_drain()
+        status, body = service.handle(request_document(envelope))
+        assert (status, body["status"]) == (503, "draining")
+        assert service.readyz() == (503, {"status": "draining"})
+
+    def test_drain_waits_for_in_flight_work(self, envelope):
+        release = threading.Event()
+
+        def slow(document):
+            release.wait(timeout=30)
+            return service_worker(document)
+
+        service = make_service(pool=StubPool(slow))
+        worker = threading.Thread(
+            target=service.handle, args=(request_document(envelope),)
+        )
+        worker.start()
+        time.sleep(0.1)  # let the request register as in flight
+        threading.Timer(0.2, release.set).start()
+        assert service.drain(grace_seconds=30) is True
+        worker.join(timeout=30)
+        assert service.quarantined == []
+
+    def test_expired_drain_quarantines_stragglers(self, envelope):
+        release = threading.Event()
+
+        def stuck(document):
+            release.wait(timeout=30)
+            return service_worker(document)
+
+        service = make_service(pool=StubPool(stuck))
+        worker = threading.Thread(
+            target=service.handle,
+            args=(request_document(envelope, id="straggler"),),
+        )
+        worker.start()
+        time.sleep(0.1)
+        try:
+            assert service.drain(grace_seconds=0.2) is False
+            assert service.quarantined == [
+                {"id": "straggler", "reason": "drain-timeout"}
+            ]
+        finally:
+            release.set()
+            worker.join(timeout=30)
+
+    def test_close_releases_the_pool(self):
+        pool = StubPool()
+        service = make_service(pool=pool)
+        service.close()
+        assert pool.closed

@@ -196,6 +196,52 @@ class TestTransientRecovery:
         assert inline[0.4] == clean[0.4]
 
 
+class TestBudgetQuarantine:
+    """The in-process budget layer under the supervisor (layer 0)."""
+
+    def test_exhausted_budget_quarantines_without_retry(self, clean):
+        # A budget this small aborts every sample at its first wall-clock
+        # check, so every item lands in quarantine deterministically.
+        budgeted = run_curve(
+            default_platform(),
+            VARIANTS,
+            replace(SETTINGS, jobs=1, sample_budget=1e-6),
+        )
+        total = len(SETTINGS.utilizations) * SETTINGS.samples
+        assert len(budgeted.failures) == total
+        failure = budgeted.failures[0]
+        assert failure.kind == "budget"
+        assert failure.exception == "BudgetExceeded"
+        # Deterministic aborts are never retried.
+        assert failure.attempts == 1
+        assert budgeted.coverage == 0.0
+
+    def test_worker_path_quarantines_budget_aborts_too(self):
+        budgeted = run_curve(
+            default_platform(),
+            VARIANTS,
+            replace(SETTINGS, sample_budget=1e-6),
+        )
+        assert budgeted.failures
+        assert {f.kind for f in budgeted.failures} == {"budget"}
+        assert all(f.attempts == 1 for f in budgeted.failures)
+
+    def test_generous_budget_is_invisible(self, clean):
+        budgeted = run_curve(
+            default_platform(),
+            VARIANTS,
+            replace(SETTINGS, sample_budget=300.0),
+        )
+        assert budgeted.failures == []
+        assert budgeted == dict(clean)
+
+    def test_settings_reject_bad_budget(self):
+        with pytest.raises(AnalysisError):
+            replace(SETTINGS, sample_budget=0.0)
+        with pytest.raises(AnalysisError):
+            replace(SETTINGS, sample_budget=float("inf"))
+
+
 class TestSampleFailureRecords:
     def test_round_trip_through_record(self):
         failure = SampleFailure(
