@@ -1,0 +1,40 @@
+"""End-to-end sweep benchmark: the full Fig. 2 pipeline, wall to wall.
+
+One measured round is one complete Fig. 2-scale campaign — task-set
+generation for every (point, sample) item, batched pair-table compilation
+per sweep point, the dominance-ordered variant evaluation with
+cross-point warm-start chains, and the final ratio aggregation.  This is
+the regime the batched sweep-point kernel was built for, so its median is
+gated by the bench-smoke job (``benchmarks/thresholds.json``, see
+``scripts/bench_smoke.py``): a regression here means the compounding of
+the kernel layers broke, even if every micro benchmark still looks fine.
+
+Unlike ``test_bench_micro.py``'s warm-re-analysis regime, every round
+here is cold: the task sets are regenerated from the sweep seeds, so no
+derived tables, warm-start seeds or pair caches survive between rounds.
+"""
+
+from conftest import attach_series
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_bench_e2e_fig2_sweep(benchmark, fig2_settings):
+    result = benchmark.pedantic(
+        run_fig2, args=(fig2_settings,), rounds=3, iterations=1
+    )
+    attach_series(benchmark, result)
+
+    # Sanity only — the full shape assertions live in test_bench_fig2.py.
+    # Every curve is a valid ratio series over the ten utilisation points,
+    # persistence-aware FP dominates its baseline, and the perfect bus
+    # dominates everything.
+    for label, series in result.ratios.items():
+        assert len(series) == len(fig2_settings.utilizations), label
+        assert all(0.0 <= value <= 1.0 for value in series), label
+    assert all(
+        a >= b for a, b in zip(result.ratios["FP-P"], result.ratios["FP"])
+    )
+    perfect = result.ratios["Perfect"]
+    for label, series in result.ratios.items():
+        assert all(p >= v for p, v in zip(perfect, series)), label

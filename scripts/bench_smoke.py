@@ -1,10 +1,12 @@
-"""Benchmark regression gate: run the micro benches once, compare medians.
+"""Benchmark regression gate: run the gated benches once, compare medians.
 
-CI's ``bench-smoke`` job runs this script.  It executes the micro
-benchmark module a single time (pytest-benchmark's auto-calibration still
-takes multiple rounds per test, so the median is meaningful), then
-compares the median of every gated benchmark against the baselines
-committed in ``benchmarks/thresholds.json``:
+CI's ``bench-smoke`` job runs this script.  It executes the gated
+benchmark modules a single time each — the micro benches
+(pytest-benchmark's auto-calibration still takes multiple rounds per
+test, so the median is meaningful) plus the end-to-end Fig. 2-scale
+sweep of ``benchmarks/test_bench_e2e_sweep.py`` (three fixed rounds of
+the whole pipeline) — then compares the median of every gated benchmark
+against the baselines committed in ``benchmarks/thresholds.json``:
 
 * a benchmark fails the gate only when its median exceeds ``factor``
   (default 3x) times the committed baseline — CI runners are noisy and a
@@ -31,7 +33,10 @@ from typing import Dict
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 THRESHOLDS = REPO_ROOT / "benchmarks" / "thresholds.json"
-BENCH_MODULE = "benchmarks/test_bench_micro.py"
+BENCH_MODULES = (
+    "benchmarks/test_bench_micro.py",
+    "benchmarks/test_bench_e2e_sweep.py",
+)
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
@@ -39,12 +44,12 @@ from repro.atomicio import atomic_write_json  # noqa: E402
 
 
 def run_benchmarks(json_path: Path) -> None:
-    """One pass of the micro benchmark module, writing a JSON report."""
+    """One pass of the gated benchmark modules, writing a JSON report."""
     command = [
         sys.executable,
         "-m",
         "pytest",
-        BENCH_MODULE,
+        *BENCH_MODULES,
         "--benchmark-only",
         f"--benchmark-json={json_path}",
         "-q",

@@ -44,6 +44,20 @@ class AnalysisConfig:
             algebra.  Bit-identical results either way — the set-based
             path is retained as the reference for the ``bitset-identity``
             differential oracle of :mod:`repro.verify`.
+        array_kernel: batch-compile the per-pair CRPD/CPRO cardinality
+            tables of a task set (and, when analysing a whole sweep
+            point, of every sampled task set at once) through
+            :class:`~repro.model.interference.BatchInterferenceTable`
+            before the fixed point runs, instead of filling the pair
+            caches lazily one lookup at a time.  When numpy is importable
+            (optional extra: ``pip install .[fast]``) and every cache
+            mask fits in 64 bits, the popcounts of a batch are lowered to
+            one vectorised ``uint64`` ``bitwise_count`` call; otherwise a
+            tight pure-Python loop over the packed masks is used.  Either
+            way the counts are exact integers, so results are
+            bit-identical to the lazy path — which is retained as the
+            reference for the ``batch-identity`` differential oracle.
+            Requires ``bitset_kernel``; ignored without it.
         warm_start: seed each task's response-time iteration from the
             converged estimates of a previous analysis of the *same*
             (task set, platform, config) triple, re-verifying the fixed
@@ -66,6 +80,7 @@ class AnalysisConfig:
     max_inner_iterations: int = 4096
     memoization: bool = True
     bitset_kernel: bool = True
+    array_kernel: bool = True
     warm_start: bool = True
 
     def __post_init__(self) -> None:

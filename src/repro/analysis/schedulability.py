@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.wcrt import WcrtResult, analyze_taskset
+from repro.analysis.wcrt import WarmHint, WcrtResult, analyze_taskset
 from repro.budget import Budget
 from repro.perf import PerfCounters
 from repro.model.platform import BusPolicy, Platform
@@ -46,6 +46,7 @@ def check_schedulability(
     config: AnalysisConfig = AnalysisConfig(),
     perf: Optional[PerfCounters] = None,
     budget: Optional[Budget] = None,
+    warm_hint: Optional[WarmHint] = None,
 ) -> SchedulabilityVerdict:
     """Full schedulability verdict with the underlying WCRT result.
 
@@ -56,7 +57,9 @@ def check_schedulability(
     :func:`repro.analysis.wcrt.analyze_taskset`), so re-checking a verdict
     is much cheaper than the first check — and bit-identical to it.
     ``budget`` threads a :class:`~repro.budget.Budget` through the WCRT
-    analysis (see :mod:`repro.budget`).
+    analysis (see :mod:`repro.budget`); ``warm_hint`` offers an adjacent
+    converged map to seed it (see
+    :class:`~repro.analysis.wcrt.WarmHint`).
     """
     d_mem = platform.d_mem
 
@@ -78,7 +81,10 @@ def check_schedulability(
                 bus_utilization=bus_util,
                 reason="bus utilisation exceeds 1",
             )
-        result = analyze_taskset(taskset, platform, config, perf=perf, budget=budget)
+        result = analyze_taskset(
+            taskset, platform, config, perf=perf, budget=budget,
+            warm_hint=warm_hint,
+        )
         return SchedulabilityVerdict(
             schedulable=result.schedulable,
             wcrt=result,
@@ -86,7 +92,9 @@ def check_schedulability(
             reason="" if result.schedulable else "deadline miss (perfect bus)",
         )
 
-    result = analyze_taskset(taskset, platform, config, perf=perf, budget=budget)
+    result = analyze_taskset(
+        taskset, platform, config, perf=perf, budget=budget, warm_hint=warm_hint
+    )
     if result.schedulable:
         return SchedulabilityVerdict(schedulable=True, wcrt=result)
     failed = result.failed_task.name if result.failed_task else "<outer loop>"
@@ -103,8 +111,9 @@ def is_schedulable(
     config: AnalysisConfig = AnalysisConfig(),
     perf: Optional[PerfCounters] = None,
     budget: Optional[Budget] = None,
+    warm_hint: Optional[WarmHint] = None,
 ) -> bool:
     """Boolean schedulability predicate used by the experiment sweeps."""
     return check_schedulability(
-        taskset, platform, config, perf=perf, budget=budget
+        taskset, platform, config, perf=perf, budget=budget, warm_hint=warm_hint
     ).schedulable

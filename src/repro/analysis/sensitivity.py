@@ -10,17 +10,43 @@ Classic schedulability tooling built on top of the WCRT analysis:
   tolerates, with periods *fixed* (deadlines do not stretch when the
   memory slows down).  Useful to compare how much latency headroom the
   persistence-aware analysis buys over the baseline.
+
+Both bisections chain warm hints between consecutive probes: each
+schedulable probe's converged response-time map is offered as a
+:class:`~repro.analysis.wcrt.WarmHint` to the next one.  Hints are
+strictly re-verified (one exact outer round, cold fallback on any
+mismatch — see :mod:`repro.analysis.wcrt`), so every probe's verdict, and
+therefore every breakdown value, is bit-identical to hint-free probing;
+only the executed work can shrink.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.schedulability import is_schedulable
+from repro.analysis.schedulability import check_schedulability
+from repro.analysis.wcrt import WarmHint
 from repro.errors import AnalysisError
 from repro.model.platform import Platform
 from repro.model.task import TaskSet
+from repro.perf import PerfCounters
+
+
+def _chained_probe(hint_cell: List[Optional[WarmHint]], verdict) -> bool:
+    """Record a probe's converged map as the next probe's warm hint."""
+    wcrt = verdict.wcrt
+    if wcrt is not None and wcrt.schedulable:
+        hint_cell[0] = WarmHint(
+            response_times={
+                task.priority: value
+                for task, value in wcrt.response_times.items()
+            },
+            outer_iterations=wcrt.outer_iterations,
+        )
+    else:
+        hint_cell[0] = None
+    return verdict.schedulable
 
 
 def _scaled_taskset(taskset: TaskSet, factor: float) -> TaskSet:
@@ -40,19 +66,27 @@ def breakdown_period_scale(
     precision: float = 0.01,
     lower: float = 0.05,
     upper: float = 4.0,
+    perf: Optional[PerfCounters] = None,
 ) -> Optional[float]:
     """Smallest period scale factor keeping the set schedulable.
 
     Returns ``None`` when the set is unschedulable even at ``upper`` (the
     most relaxed scaling probed).  Smaller results mean more headroom.
+    ``perf`` optionally accumulates every probe's analysis counters.
     """
     if precision <= 0:
         raise AnalysisError(f"precision must be positive, got {precision}")
     if not 0 < lower < upper:
         raise AnalysisError("need 0 < lower < upper")
 
+    hint_cell: List[Optional[WarmHint]] = [None]
+
     def schedulable_at(factor: float) -> bool:
-        return is_schedulable(_scaled_taskset(taskset, factor), platform, config)
+        verdict = check_schedulability(
+            _scaled_taskset(taskset, factor), platform, config,
+            perf=perf, warm_hint=hint_cell[0],
+        )
+        return _chained_probe(hint_cell, verdict)
 
     if not schedulable_at(upper):
         return None
@@ -73,19 +107,27 @@ def breakdown_d_mem(
     platform: Platform,
     config: AnalysisConfig = AnalysisConfig(),
     upper: int = 10_000,
+    perf: Optional[PerfCounters] = None,
 ) -> Optional[int]:
     """Largest memory latency (cycles) the task set tolerates.
 
     Periods and deadlines stay fixed; only the platform's ``d_mem`` varies.
     Returns ``None`` when the set is unschedulable even at ``d_mem = 1``.
     Schedulability is monotone in ``d_mem`` (every interference term grows
-    with it), so binary search applies.
+    with it), so binary search applies.  ``perf`` optionally accumulates
+    every probe's analysis counters.
     """
     if upper < 1:
         raise AnalysisError(f"upper must be at least 1, got {upper}")
 
+    hint_cell: List[Optional[WarmHint]] = [None]
+
     def schedulable_at(d_mem: int) -> bool:
-        return is_schedulable(taskset, platform.with_d_mem(d_mem), config)
+        verdict = check_schedulability(
+            taskset, platform.with_d_mem(d_mem), config,
+            perf=perf, warm_hint=hint_cell[0],
+        )
+        return _chained_probe(hint_cell, verdict)
 
     if not schedulable_at(1):
         return None

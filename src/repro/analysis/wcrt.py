@@ -27,16 +27,16 @@ response-time estimate and in the window length), so:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.analysis.config import AnalysisConfig
 from repro.budget import Budget
-from repro.businterference.arbiters import total_bus_accesses
+from repro.businterference.arbiters import make_bat, total_bus_accesses
 from repro.businterference.context import AnalysisContext
 from repro.crpd.approaches import CrpdCalculator
 from repro.errors import AnalysisAborted, ConvergenceError
-from repro.model.interference import InterferenceTable
-from repro.model.platform import Platform
+from repro.model.interference import InterferenceTable, prefill_batch
+from repro.model.platform import BusPolicy, Platform
 from repro.model.task import Task, TaskSet
 from repro.perf import PerfCounters
 from repro.persistence.cpro import CproCalculator
@@ -46,6 +46,43 @@ from repro.persistence.cpro import CproCalculator
 #: outer rounds that analysis took (reported again on warm replays so
 #: results stay observationally identical).
 _WarmSeed = Tuple[Dict[Task, int], int]
+
+
+@dataclass(frozen=True)
+class WarmHint:
+    """A converged response-time map offered to seed an *adjacent* analysis.
+
+    Unlike the same-triple warm-start seeds the analysis records for
+    itself, a hint crosses an analysis boundary: a neighbouring sweep
+    point's sample, the previous probe of a sensitivity bisection, or a
+    dominating analysis variant of the same task set.  ``response_times``
+    is keyed by task *priority* (unique per task set) so a hint survives
+    task-object identity changes between equivalent task sets.
+
+    Every hint is verified with one strict outer round before it is
+    trusted: each task must satisfy Eq. (19) *exactly* at the hinted value
+    (``f(r) == r``, see :func:`_apply_once`), and the hint is discarded on
+    the first mismatch.  Exact fixedness — rather than the pre-fixed-point
+    test ``f(r) <= r`` the same-triple warm start uses — is what keeps
+    foreign maps safe: the cold ascent's resting point is trajectory
+    dependent (the window functions are not monotone in the estimate, so
+    the inner ascent can overshoot), and a foreign pre-fixed point above
+    the cold resting point would verify under ``<=`` yet differ from the
+    cold map.  A rejected hint falls back to an untouched cold run on a
+    fresh context, so hints can only ever save work, never change a
+    result.
+
+    ``outer_iterations`` carries the donor's executed round count.  An
+    accepted hint reports it as the result's ``outer_iterations`` —
+    mirroring how the same-triple warm start reports its stored cold
+    count — and uses it to account
+    ``adjacent_warm_start_iterations_saved``; when donor and recipient
+    analyse identical inputs the hinted result is therefore bit-identical
+    to the donor, ``WcrtResult`` equality included.
+    """
+
+    response_times: Mapping[int, int]
+    outer_iterations: int = 0
 
 
 @dataclass
@@ -76,6 +113,42 @@ class WcrtResult:
         return self.response_times[task]
 
 
+def _hp_rows_for(ctx: AnalysisContext, task: Task) -> Tuple[Tuple[int, int], ...]:
+    """The (period, PD) rows of ``task``'s same-core higher-priority tasks."""
+    hp_rows = ctx._hp_rows.get(task.priority)
+    if hp_rows is None:
+        hp_rows = tuple(
+            (int(tj.period), int(tj.pd))
+            for tj in ctx.taskset.hp_on_core(task, task.core)
+        )
+        ctx._hp_rows[task.priority] = hp_rows
+    return hp_rows
+
+
+def _apply_once(ctx: AnalysisContext, task: Task, r: int) -> int:
+    """One application of Eq. (19) at estimate ``r`` — no convergence logic.
+
+    The strict verification round of a :class:`WarmHint` must test *exact*
+    fixedness (``f(r) == r``).  It cannot reuse :func:`_task_fixed_point`,
+    which returns ``r`` for any ``f(r) <= r`` and would therefore accept
+    estimates strictly above the cold resting point.  Note the converse
+    also exists: the window functions are not monotone in ``r``, so a cold
+    ascent can overshoot and rest on an ``r`` with ``f(r) < r`` — such a
+    map *fails* the strict test and the hint is (harmlessly) discarded.
+    Strictness trades a few missed reuses for exactness: an accepted map
+    is an exact solution of Eq. (19), the only kind of map a cold run can
+    agree with regardless of its trajectory — pinned bit-identical by the
+    differential grids and the ``adjacent-warmstart-identity`` oracle.
+    """
+    if ctx.budget is not None:
+        ctx.budget.tick()
+    ctx.perf.inner_iterations += 1
+    value = int(task.pd) + total_bus_accesses(ctx, task, r) * ctx.platform.d_mem
+    for period, pd_j in _hp_rows_for(ctx, task):
+        value += -((-r) // period) * pd_j
+    return value
+
+
 def _task_fixed_point(
     ctx: AnalysisContext,
     task: Task,
@@ -89,17 +162,15 @@ def _task_fixed_point(
     back below the deadline).
     """
     d_mem = ctx.platform.d_mem
-    hp_rows = ctx._hp_rows.get(task.priority)
-    if hp_rows is None:
-        hp_rows = tuple(
-            (int(tj.period), int(tj.pd))
-            for tj in ctx.taskset.hp_on_core(task, task.core)
-        )
-        ctx._hp_rows[task.priority] = hp_rows
+    hp_rows = _hp_rows_for(ctx, task)
     pd_i = int(task.pd)
     deadline = int(task.deadline)
     perf = ctx.perf
     budget = ctx.budget
+    bat = ctx._bat_fns.get(task.priority)
+    if bat is None:
+        bat = make_bat(ctx, task)
+        ctx._bat_fns[task.priority] = bat
     r = start
     for _ in range(config.max_inner_iterations):
         # The tick sits at the iteration boundary, *before* any work of the
@@ -109,10 +180,9 @@ def _task_fixed_point(
         if budget is not None:
             budget.tick()
         perf.inner_iterations += 1
-        core_interference = sum(
-            -((-r) // period) * pd_j for period, pd_j in hp_rows
-        )
-        r_new = pd_i + core_interference + total_bus_accesses(ctx, task, r) * d_mem
+        r_new = pd_i + bat(r) * d_mem
+        for period, pd_j in hp_rows:
+            r_new += -((-r) // period) * pd_j
         if r_new > deadline:
             return None
         if r_new <= r:
@@ -145,6 +215,7 @@ def _make_context(
         persistence_in_low=config.persistence_in_low,
         tdma_slot_alignment=config.tdma_slot_alignment,
         memoize=config.memoization,
+        array_kernel=config.array_kernel,
         perf=counters,
         budget=budget,
     )
@@ -156,6 +227,7 @@ def analyze_taskset(
     config: AnalysisConfig = AnalysisConfig(),
     perf: Optional[PerfCounters] = None,
     budget: Optional[Budget] = None,
+    warm_hint: Optional[WarmHint] = None,
 ) -> WcrtResult:
     """Compute WCRT bounds for every task of ``taskset`` on ``platform``.
 
@@ -189,6 +261,13 @@ def analyze_taskset(
     consistent after an abort as after a cold start — aborted runs never
     record a warm-start seed, and the per-run memo caches die with the
     run's context.
+
+    ``warm_hint`` (optional) offers an *adjacent* converged map — see
+    :class:`WarmHint` — consulted only when no same-triple seed exists and
+    ``config.warm_start`` is on.  An accepted hint changes nothing but the
+    executed work; a hinted run reports the outer rounds it actually
+    executed in ``outer_iterations`` (fewer than the cold count —
+    documented semantics change, see docs/PERFORMANCE.md).
     """
     counters = PerfCounters()
     if config.bitset_kernel:
@@ -196,6 +275,15 @@ def analyze_taskset(
         # construction is attributed to this run's counters rather than
         # hiding inside the first calculator access.
         InterferenceTable.shared(taskset, perf=counters)
+        if config.array_kernel:
+            # Batch-compile the per-pair CRPD/CPRO tables (no-op when the
+            # sweep layer already compiled this task set's point batch).
+            prefill_batch(
+                (taskset,),
+                config.crpd_approach,
+                config.cpro_approach,
+                perf=counters,
+            )
     counters.analyses += 1
     if budget is not None:
         budget.start()
@@ -210,6 +298,21 @@ def analyze_taskset(
             if seeds is not None and (stored := seeds.get(seed_key)) is not None:
                 ctx = _make_context(taskset, platform, config, counters, budget)
                 result = _warm_verify(ctx, stored, config)
+            if (
+                result is None
+                and warm_hint is not None
+                and config.warm_start
+            ):
+                ctx = _make_context(taskset, platform, config, counters, budget)
+                result = _hint_seeded(ctx, warm_hint, config)
+                if result is not None and seeds is not None:
+                    # The hinted run converged to the exact fixed point;
+                    # record it so same-triple replays stay warm (they will
+                    # re-report this run's executed round count).
+                    seeds[seed_key] = (
+                        dict(result.response_times),
+                        result.outer_iterations,
+                    )
             if result is None:
                 ctx = _make_context(taskset, platform, config, counters, budget)
                 result = _analyze(ctx, taskset, platform, config)
@@ -287,6 +390,61 @@ def _warm_verify(
     )
 
 
+def _hint_seeded(
+    ctx: AnalysisContext,
+    hint: WarmHint,
+    config: AnalysisConfig,
+) -> Optional[WcrtResult]:
+    """Attempt an adjacent-hint-seeded analysis; ``None`` requests cold.
+
+    Returning ``None`` always leaves the caller to rerun on a *fresh*
+    context: the hinted attempt may have advanced estimates past their
+    cold trajectory, and the epoch-keyed memo entries recorded against
+    them must not leak into the fallback.
+
+    The hint gets one strict verification round (see :func:`_apply_once`)
+    and is discarded on the first mismatch; any failure shape (deadline
+    miss, isolated overrun) is likewise left entirely to the cold
+    reference path so rejected hints reproduce it bit-for-bit.
+    """
+    taskset = ctx.taskset
+    d_mem = ctx.platform.d_mem
+    hinted = hint.response_times
+    starts: Dict[Task, int] = {}
+    for task in taskset:
+        value = hinted.get(task.priority)
+        if value is None:
+            return None
+        isolated = int(task.pd) + task.md * d_mem
+        if isolated > task.deadline:
+            # Cold analysis short-circuits before estimates matter; let it.
+            return None
+        start = max(isolated, int(value))
+        if start > task.deadline:
+            # The hint claims an over-deadline bound; the verdict (and the
+            # failure shape) must come from the cold reference path.
+            return None
+        starts[task] = start
+
+    perf = ctx.perf
+    for task, start in starts.items():
+        ctx.set_response_time(task, start)
+    perf.outer_iterations += 1
+    for task, start in starts.items():
+        if _apply_once(ctx, task, start) != start:
+            return None
+    perf.adjacent_warm_starts += 1
+    perf.adjacent_warm_start_iterations_saved += max(0, hint.outer_iterations - 1)
+    return WcrtResult(
+        schedulable=True,
+        response_times=dict(ctx.response_times),
+        # Report the donor's round count, exactly as the same-triple warm
+        # start reports its stored cold count: a hint between identical
+        # problems then reproduces the donor bit for bit.
+        outer_iterations=max(1, hint.outer_iterations),
+    )
+
+
 def _analyze(
     ctx: AnalysisContext,
     taskset: TaskSet,
@@ -306,11 +464,45 @@ def _analyze(
             )
         ctx.set_response_time(task, isolated)
 
+    # Remote-epoch snapshots for the convergence shortcut below.  With both
+    # approaches window oblivious, a task's Eq. (19) right-hand side
+    # depends, besides its own estimate ``r``, only on the response-time
+    # estimates of *other* cores (the same-core terms read static
+    # parameters and ``r`` itself).  ``ctx.epoch`` minus the task's own
+    # core epoch is exactly the number of remote-estimate revisions, so if
+    # that count is unchanged since the task's last converged evaluation,
+    # re-running the fixed point from the unchanged estimate would
+    # terminate immediately with the same value — the round can skip it
+    # without evaluating anything.  The multiset approaches void the
+    # premise (their window terms read same-core estimates — see
+    # ``AnalysisContext.window_oblivious``), so the shortcut stays off
+    # there.  Where it applies it fires identically across the kernel
+    # variants (it reads no kernel state), so results and iteration
+    # boundaries stay bit-identical between them.
+    may_skip = ctx.window_oblivious
+    # The TDMA and perfect buses read no remote estimates at all — their
+    # BAT is a function of the window length and static parameters only —
+    # so a task is exactly converged after its first fixed point and every
+    # later round can skip it outright, not just while remote estimates
+    # hold still.  Freezing the remote count at a constant makes the mark
+    # comparison below degrade to "was this task evaluated before".
+    local_only = may_skip and ctx.platform.bus_policy in (
+        BusPolicy.TDMA,
+        BusPolicy.PERFECT,
+    )
+    core_epochs = ctx._core_epoch
+    remote_marks: Dict[Task, int] = {}
+
     outer = 0
     for outer in range(1, config.max_outer_iterations + 1):
         ctx.perf.outer_iterations += 1
         changed = False
         for task in taskset:
+            remote_now = (
+                0 if local_only else ctx.epoch - core_epochs.get(task.core, 0)
+            )
+            if may_skip and remote_marks.get(task) == remote_now:
+                continue
             previous = ctx.response_time(task)
             result = _task_fixed_point(ctx, task, previous, config)
             if result is None:
@@ -324,6 +516,11 @@ def _analyze(
             if result != previous:
                 ctx.set_response_time(task, result)
                 changed = True
+            # Recording the own estimate bumps the own-core and global
+            # epochs in lockstep, so the remote count is unchanged by it.
+            remote_marks[task] = (
+                0 if local_only else ctx.epoch - core_epochs.get(task.core, 0)
+            )
         if not changed:
             return WcrtResult(
                 schedulable=True,

@@ -26,10 +26,21 @@ reproduces.
 from __future__ import annotations
 
 from repro.businterference.context import AnalysisContext
-from repro.businterference.requests import bao, bao_low, bas
+from repro.businterference.requests import (
+    _bas_fast_b,
+    _bas_fast_p,
+    _bas_rows_fast,
+    _w_rows_fast,
+    _w_sum_fast_b,
+    _w_sum_fast_p,
+    bao,
+    bao_low,
+    bas,
+)
 from repro.errors import AnalysisError
 from repro.model.platform import BusPolicy
 from repro.model.task import Task
+from repro.persistence.demand import FAULTS
 
 
 def blocking_accesses(ctx: AnalysisContext, task_i: Task) -> int:
@@ -49,8 +60,11 @@ def _remote_cores(ctx: AnalysisContext, task_i: Task):
 def _bat_fp(ctx: AnalysisContext, task_i: Task, t: int) -> int:
     """Fixed-priority bus (Eq. 7)."""
     own = bas(ctx, task_i, t)
-    higher = sum(bao(ctx, core, task_i, t) for core in _remote_cores(ctx, task_i))
-    lower = sum(bao_low(ctx, core, task_i, t) for core in _remote_cores(ctx, task_i))
+    higher = 0
+    lower = 0
+    for core in _remote_cores(ctx, task_i):
+        higher += bao(ctx, core, task_i, t)
+        lower += bao_low(ctx, core, task_i, t)
     return own + higher + blocking_accesses(ctx, task_i) + min(own, lower)
 
 
@@ -85,9 +99,288 @@ def _bat_perfect(ctx: AnalysisContext, task_i: Task, t: int) -> int:
     return bas(ctx, task_i, t)
 
 
+# -- fused evaluation (array kernel) ----------------------------------------
+#
+# The per-term entry points above pay, for every inner fixed-point
+# iteration, one function call + one memo probe + one epoch lookup per term
+# — seven of each for the FP bus on a quad-core.  During an ascent the
+# window length changes every iteration, so those probes are almost all
+# misses and the bookkeeping is pure overhead.  (Measured on the fig2
+# sweep the epoch-keyed caches hit essentially never on the default path:
+# the outer loop revises some estimate between consecutive evaluations of
+# the same window.)  The fused path therefore skips memoization entirely
+# and evaluates a whole BAT with tight loops over a per-task plan of flat
+# integer rows, specialised per persistence flavour so the hot loops carry
+# no flag tests.  Flattening only reorders exact integer additions, so
+# every value — and thus every analysis result — is bit-identical to the
+# per-term path; the memo hit/miss counters stay zero on the fused path
+# because no cache exists there (documented in docs/PERFORMANCE.md; the
+# per-term memo subsystem remains fully active under
+# ``array_kernel=False``).
+
+
+def _bat_plan(ctx: AnalysisContext, task_i: Task) -> tuple:
+    """Static evaluation plan of ``task_i``'s fused BAT.
+
+    ``(md_i, bas_p, bas_b, flat_higher_p, flat_higher_b, flat_lower_p,
+    flat_lower_b, per_core_rr_p, per_core_rr_b, blocking)`` — the ``_p``
+    members are persistence-aware rows, the ``_b`` members baseline rows;
+    unused members are ``()`` for policies that do not read them.  Pure
+    function of the task set, the approach enums, the kernel flags and the
+    platform, so plans are shared across contexts via ``TaskSet.derived``
+    (the backing dict's key, see
+    :class:`~repro.businterference.context.AnalysisContext`).  Tunables a
+    caller may flip on a live context (persistence flags, TDMA slot
+    alignment) are read at evaluation time, never baked into a plan.
+    """
+    plan = ctx._bat_plans.get(task_i.priority)
+    if plan is None:
+        policy = ctx.platform.bus_policy
+        bas_p, bas_b = _bas_rows_fast(ctx, task_i)
+        fh_p: tuple = ()
+        fh_b: tuple = ()
+        fl_p: tuple = ()
+        fl_b: tuple = ()
+        rr_p: tuple = ()
+        rr_b: tuple = ()
+        if policy is BusPolicy.FP:
+            # One pass over the whole task set instead of six per-core
+            # ``_w_rows_fast`` builds: the flat row tables end up ordered by
+            # task-set iteration order rather than grouped per remote core,
+            # which only reorders exact integer additions in the fused sums.
+            core_i = task_i.core
+            pri_i = task_i.priority
+            d_mem = ctx.platform.d_mem
+            slot_of = ctx._slot_of
+            gamma_of = ctx.crpd.gamma
+            evictions = ctx.cpro.eviction_count
+            higher_p, higher_b, lower_p, lower_b = [], [], [], []
+            for task_l in ctx.taskset:
+                if task_l.core == core_i:
+                    continue
+                gamma = gamma_of(task_i, task_l)
+                period = int(task_l.period)
+                job_demand = task_l.md + gamma
+                jdd = job_demand * d_mem
+                slot = slot_of[task_l.priority]
+                row_p = (
+                    slot,
+                    gamma,
+                    period,
+                    task_l.md,
+                    task_l.md_r,
+                    len(task_l.pcbs),
+                    evictions(task_l, task_i),
+                    job_demand,
+                    jdd,
+                )
+                row_b = (slot, period, job_demand, jdd)
+                if task_l.priority <= pri_i:
+                    higher_p.append(row_p)
+                    higher_b.append(row_b)
+                else:
+                    lower_p.append(row_p)
+                    lower_b.append(row_b)
+            fh_p = tuple(higher_p)
+            fh_b = tuple(higher_b)
+            fl_p = tuple(lower_p)
+            fl_b = tuple(lower_b)
+        elif policy is BusPolicy.RR:
+            lowest = ctx.taskset.lowest_priority_task
+            pairs = tuple(
+                _w_rows_fast(ctx, lowest, core, lower=False)
+                for core in ctx.remote_cores(task_i.core)
+            )
+            rr_p = tuple(pair[0] for pair in pairs)
+            rr_b = tuple(pair[1] for pair in pairs)
+        blocking = blocking_accesses(ctx, task_i)
+        plan = (task_i.md, bas_p, bas_b, fh_p, fh_b, fl_p, fl_b, rr_p, rr_b, blocking)
+        ctx._bat_plans[task_i.priority] = plan
+    return plan
+
+
+def make_bat(ctx: AnalysisContext, task_i: Task):
+    """Specialised ``bat(t)`` evaluator for one task's fixed point.
+
+    Hoists everything a :math:`BAT^x_i(t)` evaluation needs besides the
+    window length — the fused plan, the policy dispatch, the persistence
+    flavour, ``d_mem`` and the estimate slot list — out of the per-
+    iteration path, so the inner fixed point pays one closure call per
+    iteration instead of re-dispatching policy and flags every time.
+    Tunables are bound at *creation* time: the WCRT loops create a fresh
+    evaluator per task, so flag flips between analyses are honoured, and
+    callers must pass ``t >= 0`` (the ascent never goes negative; the
+    guarded entry point is :func:`total_bus_accesses`).  Falls back to a
+    plain :func:`total_bus_accesses` wrapper when the fused kernel is off
+    or the policy has no fused form, so values are always identical.
+    """
+    policy = ctx.platform.bus_policy
+    if not ctx.fused or not (
+        policy is BusPolicy.FP
+        or policy is BusPolicy.RR
+        or policy is BusPolicy.TDMA
+        or policy is BusPolicy.PERFECT
+    ):
+        return lambda t: total_bus_accesses(ctx, task_i, t)
+    plan = _bat_plan(ctx, task_i)
+    persistence = ctx.persistence
+    drop_pcb = FAULTS.drop_pcb_term
+    md_i = plan[0]
+    bas_rows = plan[1] if persistence else plan[2]
+    blocking = plan[9]
+    est = ctx._est
+    d_mem = ctx.platform.d_mem
+    if policy is BusPolicy.PERFECT:
+        if persistence:
+            return lambda t: _bas_fast_p(bas_rows, t, md_i, drop_pcb)
+        return lambda t: _bas_fast_b(bas_rows, t, md_i)
+    if policy is BusPolicy.TDMA:
+        wait_slots = (ctx.platform.num_cores - 1) * ctx.platform.slot_size
+        if ctx.tdma_slot_alignment:
+            wait_slots += 1
+        # own + wait_slots * own == own * (1 + wait_slots), exactly.
+        factor = 1 + wait_slots
+        if persistence:
+            return (
+                lambda t: _bas_fast_p(bas_rows, t, md_i, drop_pcb) * factor
+                + blocking
+            )
+        return lambda t: _bas_fast_b(bas_rows, t, md_i) * factor + blocking
+    if policy is BusPolicy.FP:
+        if persistence:
+            higher_rows = plan[3]
+            if ctx.persistence_in_low:
+                lower_rows = plan[5]
+
+                def bat(t: int) -> int:
+                    own = _bas_fast_p(bas_rows, t, md_i, drop_pcb)
+                    lower = _w_sum_fast_p(est, lower_rows, t, d_mem, drop_pcb)
+                    return (
+                        own
+                        + _w_sum_fast_p(est, higher_rows, t, d_mem, drop_pcb)
+                        + blocking
+                        + (own if own < lower else lower)
+                    )
+
+                return bat
+            lower_rows = plan[6]
+
+            def bat(t: int) -> int:
+                own = _bas_fast_p(bas_rows, t, md_i, drop_pcb)
+                lower = _w_sum_fast_b(est, lower_rows, t, d_mem)
+                return (
+                    own
+                    + _w_sum_fast_p(est, higher_rows, t, d_mem, drop_pcb)
+                    + blocking
+                    + (own if own < lower else lower)
+                )
+
+            return bat
+        higher_rows = plan[4]
+        lower_rows = plan[6]
+
+        def bat(t: int) -> int:
+            own = _bas_fast_b(bas_rows, t, md_i)
+            lower = _w_sum_fast_b(est, lower_rows, t, d_mem)
+            return (
+                own
+                + _w_sum_fast_b(est, higher_rows, t, d_mem)
+                + blocking
+                + (own if own < lower else lower)
+            )
+
+        return bat
+    # RR
+    slot_size = ctx.platform.slot_size
+    if persistence:
+        per_core = plan[7]
+
+        def bat(t: int) -> int:
+            own = _bas_fast_p(bas_rows, t, md_i, drop_pcb)
+            cap = slot_size * own
+            remote = 0
+            for rows in per_core:
+                demand = _w_sum_fast_p(est, rows, t, d_mem, drop_pcb)
+                remote += demand if demand < cap else cap
+            return own + remote + blocking
+
+        return bat
+    per_core = plan[8]
+
+    def bat(t: int) -> int:
+        own = _bas_fast_b(bas_rows, t, md_i)
+        cap = slot_size * own
+        remote = 0
+        for rows in per_core:
+            demand = _w_sum_fast_b(est, rows, t, d_mem)
+            remote += demand if demand < cap else cap
+        return own + remote + blocking
+
+    return bat
+
+
+def _bat_fused(ctx: AnalysisContext, task_i: Task, t: int) -> int:
+    """One fused :math:`BAT^x_i(t)` evaluation over flat integer rows.
+
+    Live tunables (persistence flags, ``tdma_slot_alignment``) select the
+    specialised row tables / wait terms at evaluation time, so flipping
+    them on a live context takes effect immediately, exactly as on the
+    per-term path.
+    """
+    policy = ctx.platform.bus_policy
+    persistence = ctx.persistence
+    drop_pcb = FAULTS.drop_pcb_term
+    plan = _bat_plan(ctx, task_i)
+    md_i = plan[0]
+    if persistence:
+        own = _bas_fast_p(plan[1], t, md_i, drop_pcb)
+    else:
+        own = _bas_fast_b(plan[2], t, md_i)
+    if policy is BusPolicy.PERFECT:
+        return own
+    if policy is BusPolicy.TDMA:
+        wait_slots = (ctx.platform.num_cores - 1) * ctx.platform.slot_size
+        if ctx.tdma_slot_alignment:
+            wait_slots += 1
+        return own + wait_slots * own + plan[9]
+    est = ctx._est
+    d_mem = ctx.platform.d_mem
+    if policy is BusPolicy.FP:
+        if persistence:
+            higher = _w_sum_fast_p(est, plan[3], t, d_mem, drop_pcb)
+        else:
+            higher = _w_sum_fast_b(est, plan[4], t, d_mem)
+        if persistence and ctx.persistence_in_low:
+            lower = _w_sum_fast_p(est, plan[5], t, d_mem, drop_pcb)
+        else:
+            lower = _w_sum_fast_b(est, plan[6], t, d_mem)
+        return own + higher + plan[9] + min(own, lower)
+    # RR
+    slot_cap = ctx.platform.slot_size * own
+    remote = 0
+    per_core = plan[7] if persistence else plan[8]
+    if persistence:
+        for rows in per_core:
+            demand = _w_sum_fast_p(est, rows, t, d_mem, drop_pcb)
+            remote += demand if demand < slot_cap else slot_cap
+    else:
+        for rows in per_core:
+            demand = _w_sum_fast_b(est, rows, t, d_mem)
+            remote += demand if demand < slot_cap else slot_cap
+    return own + remote + plan[9]
+
+
 def total_bus_accesses(ctx: AnalysisContext, task_i: Task, t: int) -> int:
     """Dispatch :math:`BAT^x_i(t)` on the platform's bus policy."""
     policy = ctx.platform.bus_policy
+    if ctx.fused and t >= 0:
+        if (
+            policy is BusPolicy.FP
+            or policy is BusPolicy.RR
+            or policy is BusPolicy.TDMA
+            or policy is BusPolicy.PERFECT
+        ):
+            return _bat_fused(ctx, task_i, t)
     if policy is BusPolicy.FP:
         return _bat_fp(ctx, task_i, t)
     if policy is BusPolicy.RR:

@@ -64,6 +64,20 @@ class AnalysisContext:
             inputs plus the epoch of the core whose estimates they read.
             Results are bit-identical either way; disabling selects the
             reference path used by the differential correctness test.
+        array_kernel: allow the fused tight-loop evaluator for the bus
+            terms (see ``_w_sum_fast_p``/``_w_sum_fast_b`` in
+            :mod:`repro.businterference.requests` and ``_bat_fused`` in
+            :mod:`repro.businterference.arbiters`): a whole BAT evaluation
+            becomes one pass over flat integer rows with response-time
+            estimates resolved through a slot list instead of a
+            ``Task``-keyed dict probe, and no per-term memo caches are
+            consulted (they essentially never hit on this path, so the
+            memo hit/miss counters read zero under the fused evaluator).
+            Engages only where the closed forms apply (``fast_demand`` and
+            a window-oblivious CRPD approach) and only when ``memoize`` is
+            also set, so the ``memoize=False`` reference stays the
+            untouched legacy evaluation.  Computed values are bit-identical
+            either way.
         perf: counters recording iteration counts and memo hits/misses.
         budget: optional :class:`~repro.budget.Budget` ticked at every
             inner fixed-point iteration (and checked inside the expensive
@@ -81,6 +95,7 @@ class AnalysisContext:
     persistence_in_low: bool = False
     tdma_slot_alignment: bool = False
     memoize: bool = True
+    array_kernel: bool = True
     perf: PerfCounters = field(default_factory=PerfCounters)
     budget: Optional[Budget] = None
 
@@ -133,6 +148,54 @@ class AnalysisContext:
         # With a window-oblivious CPRO approach the per-pair demand terms
         # reduce to closed-form arithmetic over the prefetched parameters.
         self.fast_demand: bool = self.cpro.approach is not CproApproach.MULTISET
+        # With *both* approaches window oblivious, every same-core term of
+        # Eq. (19) is a pure function of static parameters and the window
+        # length: a task's right-hand side then depends only on its own
+        # estimate and the estimates of other cores.  The multiset variants
+        # break this — their window terms read response-time estimates of
+        # same-core tasks (and of the analysed task itself) — so the outer
+        # loop's remote-epoch convergence shortcut must not engage there.
+        self.window_oblivious: bool = (
+            self.fast_demand
+            and self.crpd.approach is not CrpdApproach.ECB_UNION_MULTISET
+        )
+        # Fused tight-loop evaluation of the window terms: estimates live in
+        # a list indexed by a per-task-set slot (the task's position in
+        # iteration order), so the hot row loops replace the Task-keyed
+        # dict probe with a plain list subscript.  The slot list mirrors
+        # ``response_times`` exactly — same values, same isolated-WCET
+        # fallback — and is maintained by :meth:`set_response_time`.
+        self.fused: bool = (
+            self.memoize and self.array_kernel and self.window_oblivious
+        )
+        self._slot_of: Dict[int, int] = self.taskset.derived(
+            "est-slots",
+            lambda: {t.priority: i for i, t in enumerate(self.taskset)},
+        )
+        d_mem = self.platform.d_mem
+        self._est = [int(t.pd + t.md * d_mem) for t in self.taskset]
+        self._w_rows_fast: Dict[Tuple[int, int, bool], tuple] = (
+            self.taskset.derived(
+                ("w-rows-fast",) + approaches + (self.platform.d_mem,), dict
+            )
+        )
+        self._bas_rows_fast: Dict[int, tuple] = self.taskset.derived(
+            ("bas-rows-fast",) + approaches, dict
+        )
+        # Per-task fused BAT plans (see repro.businterference.arbiters):
+        # everything one total-bus-accesses evaluation needs, flattened into
+        # integer rows.  Keyed by the full platform (policy, d_mem, slot
+        # size, core count) on top of the approach/kernel flags; tunables
+        # read live at evaluation time (persistence flags, TDMA alignment)
+        # are deliberately *not* baked into plans.
+        self._bat_plans: Dict[int, tuple] = self.taskset.derived(
+            ("bat-plans",) + approaches + (self.platform,), dict
+        )
+        # Per-task specialised BAT evaluators (``make_bat`` closures), built
+        # once per context: they close over this context's estimate list and
+        # bind the tunables at creation time, so unlike the plans they must
+        # not outlive the context.
+        self._bat_fns: Dict[int, object] = {}
 
     # -- response-time estimates --------------------------------------------
 
@@ -159,6 +222,9 @@ class AnalysisContext:
             core_epoch = self._core_epoch
             core_epoch[task.core] = core_epoch.get(task.core, 0) + 1
         self.response_times[task] = value
+        slot = self._slot_of.get(task.priority)
+        if slot is not None:
+            self._est[slot] = value
 
     def core_epoch(self, core: int) -> int:
         """Estimate-revision counter of ``core`` (cache-key ingredient)."""

@@ -214,6 +214,17 @@ class CrpdCalculator:
         """Whether this calculator runs on the bitmask kernel."""
         return self._bitset
 
+    def prefill_pairs(self, pairs: Dict[Tuple[int, int], int]) -> None:
+        """Adopt batch-compiled gamma values, keyed ``(pri_i, pri_j)``.
+
+        Fed by :class:`~repro.model.interference.BatchInterferenceTable`;
+        every value equals what :meth:`gamma` would compute lazily, so
+        adopting them only removes cache misses.  Lazily-computed entries
+        already present are identical and simply retained.
+        """
+        for key, value in pairs.items():
+            self._cache.setdefault(key, value)
+
     def gamma(self, task_i: Task, task_j: Task) -> int:
         """CRPD (in memory requests) charged per preemption by ``task_j``.
 

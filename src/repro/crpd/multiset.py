@@ -26,6 +26,19 @@ ECB-union approach); it plugs into the same-core bound :math:`BAS` when
 :class:`~repro.crpd.approaches.CrpdApproach.ECB_UNION_MULTISET` is
 selected.  Remote-core terms keep per-job ECB-union CRPD (the multiset
 construction has no published remote-window counterpart).
+
+Performance note: because :math:`M_{i,j}(t)` reads the response-time
+estimates :math:`R_g` of *same-core* tasks, this approach is **not**
+window oblivious — a task's Eq. (19) right-hand side depends on its
+neighbours' (and its own) current estimates, not just on remote cores.
+The analysis therefore excludes multiset runs from the fused array-kernel
+evaluator and from the outer loop's remote-epoch convergence shortcut
+(see ``AnalysisContext.window_oblivious`` in
+:mod:`repro.businterference.context`); they run on the per-term memoized
+path, where the epoch-keyed caches track exactly these dependencies.
+The exclusion is load-bearing: skipping a multiset task on "no remote
+change" evidence can declare convergence at a non-fixed point (caught by
+the fault-injection suite via the ``warm-start-identity`` oracle).
 """
 
 from __future__ import annotations

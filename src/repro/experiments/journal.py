@@ -86,18 +86,25 @@ def sweep_description(
     Contains exactly the outcome-determining parameters and nothing else;
     see the module docstring for what is excluded and why.
     """
+    descriptions = []
+    for variant in variants:
+        analysis = _jsonable(variant.analysis)
+        # The batched kernel is an invisible optimisation (bit-identical
+        # results); keep it out of the fingerprint so journals written
+        # before the knob existed stay resumable.
+        analysis.pop("array_kernel", None)
+        descriptions.append(
+            {
+                "label": variant.label,
+                "policy": variant.policy.value,
+                "analysis": analysis,
+            }
+        )
     return {
         "format": JOURNAL_TAG,
         "version": JOURNAL_VERSION,
         "platform": platform_to_dict(platform),
-        "variants": [
-            {
-                "label": variant.label,
-                "policy": variant.policy.value,
-                "analysis": _jsonable(variant.analysis),
-            }
-            for variant in variants
-        ],
+        "variants": descriptions,
         "samples": settings.samples,
         "seed": settings.seed,
         "utilizations": list(settings.utilizations),

@@ -35,9 +35,10 @@ from __future__ import annotations
 import random
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
 
-from repro.analysis.schedulability import is_schedulable
+from repro.analysis.schedulability import check_schedulability
+from repro.analysis.wcrt import WarmHint
 from repro.analysis.weighted import weighted_schedulability
 from repro.budget import Budget
 from repro.errors import AnalysisError, JournalError
@@ -49,7 +50,8 @@ from repro.experiments.supervisor import (
     WorkItem,
 )
 from repro.generation.taskset_gen import GenerationConfig, generate_taskset
-from repro.model.platform import Platform
+from repro.model.interference import prefill_batch
+from repro.model.platform import BusPolicy, Platform
 from repro.perf import PerfCounters
 from repro.verify.faults import SweepFault
 
@@ -67,6 +69,122 @@ def _sample_seed(seed: int, point_index: int, sample_index: int) -> int:
     return (seed * 1_000_003 + point_index * 10_007 + sample_index) & 0x7FFFFFFF
 
 
+# -- variant dominance -------------------------------------------------------
+#
+# The catalogue's variants are not independent: a persistence-aware bound is
+# pointwise at most its baseline counterpart on the same bus (the
+# ``persistence-tightens`` oracle), and the perfect bus lower-bounds every
+# arbiter (the ``perfect-dominance`` oracle).  The implication cuts both
+# ways.  When a *tighter* variant already failed with a genuine deadline
+# miss, every variant it dominates must miss the same deadline — its WCRT
+# bound can only be larger — so the sweep records ``False`` without running
+# the analysis.  Conversely, when a *looser* variant is schedulable, every
+# variant dominating it is schedulable too (its bounds are pointwise
+# smaller), and the sweep records ``True`` for free.  Which direction pays
+# depends on where the sample sits: below the schedulability cliff almost
+# everything passes, so evaluating the loose (cheap) baselines first lets
+# their successes discharge the expensive persistence-aware analyses; above
+# the cliff almost everything fails, so evaluating the tight variants first
+# lets their deadline misses discharge the rest.  ``evaluate_sample`` picks
+# the order from the point's utilisation — a deterministic function of the
+# work item, and pure perf: the verdicts are bit-identical in either order.
+#
+# Failure skips fire only on an actual deadline miss (``failed_task`` set):
+# utilisation prechecks, bus-overload rejections and outer-loop exhaustion
+# carry no cross-variant implication and are never used as skip evidence.
+# Success skips fire on any schedulable verdict of a dominated variant, but
+# never *for* a perfect-bus variant: the perfect bus has its own
+# bus-overload precheck, whose rejection no other variant's success can
+# rule out, so its verdict always comes from ``check_schedulability``.
+
+
+def _dominates(a: Variant, b: Variant) -> bool:
+    """``True`` when ``a``'s WCRT bounds are pointwise at most ``b``'s."""
+    ca, cb = a.analysis, b.analysis
+    if ca.crpd_approach is not cb.crpd_approach:
+        return False
+    if ca.cpro_approach is not cb.cpro_approach:
+        return False
+    if not ca.persistence and cb.persistence:
+        return False  # a is looser on the persistence terms
+    if not ca.persistence_in_low and cb.persistence_in_low:
+        return False
+    if ca.tdma_slot_alignment and not cb.tdma_slot_alignment:
+        return False  # a charges extra TDMA waiting that b does not
+    return a.policy is b.policy or a.policy is BusPolicy.PERFECT
+
+
+_Plan = Tuple[
+    Tuple[int, ...],
+    Tuple[Tuple[int, ...], ...],
+    Tuple[int, ...],
+    Tuple[Tuple[int, ...], ...],
+]
+
+_PLAN_CACHE: Dict[Tuple[Variant, ...], _Plan] = {}
+
+#: Utilisation at or below which ``evaluate_sample`` runs the loosest
+#: variants first (harvesting success skips); above it the tightest run
+#: first (harvesting failure skips).  Pure performance tuning — verdicts
+#: are bit-identical in either order — roughly matching where the standard
+#: catalogue's baselines start falling off the schedulability cliff.
+_SUCCESS_ORDER_UTILIZATION = 0.5
+
+
+def _dominance_plan(variants: Tuple[Variant, ...]) -> _Plan:
+    """Evaluation orders plus per-variant skip-evidence indices.
+
+    Returns ``(tight_order, dominators, loose_order, dominated)``.
+    ``tight_order`` puts tighter variants first (perfect bus, then
+    persistence-aware, then baseline); ``loose_order`` is its reverse.
+    ``dominators[i]`` names the variants dominating ``i`` that run earlier
+    in ``tight_order`` (failure evidence), ``dominated[i]`` the variants
+    ``i`` dominates that run earlier in ``loose_order`` (success
+    evidence; empty for perfect-bus variants, whose bus-overload precheck
+    no other variant's success can rule out).  Both lists only name
+    variants evaluated *earlier* in their order, so each plan is
+    cycle-free by construction even for duplicate variants.  Verdicts are
+    always reported in the caller's original variant order.
+    """
+    plan = _PLAN_CACHE.get(variants)
+    if plan is None:
+        order = tuple(
+            sorted(
+                range(len(variants)),
+                key=lambda i: (
+                    variants[i].policy is not BusPolicy.PERFECT,
+                    not variants[i].analysis.persistence,
+                    not variants[i].analysis.persistence_in_low,
+                    variants[i].analysis.tdma_slot_alignment,
+                    i,
+                ),
+            )
+        )
+        position = {index: rank for rank, index in enumerate(order)}
+        dominators = tuple(
+            tuple(
+                j
+                for j in order
+                if position[j] < position[i] and _dominates(variants[j], variants[i])
+            )
+            for i in range(len(variants))
+        )
+        loose_order = tuple(reversed(order))
+        dominated = tuple(
+            ()
+            if variants[i].policy is BusPolicy.PERFECT
+            else tuple(
+                j
+                for j in loose_order
+                if position[j] > position[i] and _dominates(variants[i], variants[j])
+            )
+            for i in range(len(variants))
+        )
+        plan = (order, dominators, loose_order, dominated)
+        _PLAN_CACHE[variants] = plan
+    return plan
+
+
 def evaluate_sample(
     base_platform: Platform,
     utilization: float,
@@ -75,31 +193,137 @@ def evaluate_sample(
     sample_seed: int,
     perf: Optional[PerfCounters] = None,
     budget: Optional[Budget] = None,
+    taskset=None,
+    hint_chain: Optional[MutableMapping[int, WarmHint]] = None,
 ) -> SampleOutcome:
     """Generate one task set and test it under every variant.
 
     The task set is generated once from ``base_platform`` (generation only
     depends on ``d_mem``, the cache geometry and the core count, not on the
-    arbitration policy) and shared across variants.  ``budget`` (one
-    :class:`~repro.budget.Budget` covering *all* variants of the sample)
-    lets an over-budget analysis abort cooperatively with
+    arbitration policy) and shared across variants; passing ``taskset``
+    skips the generation (the sweep layer pre-generates whole points so
+    their pair tables batch-compile together).  Variants are evaluated in
+    dominance order: once a tighter variant fails with a genuine deadline
+    miss, the variants it dominates are recorded unschedulable without
+    running their analyses (``perf.dominance_skips``) — the verdict tuple,
+    reported in the caller's variant order, is bit-identical either way.
+
+    ``hint_chain`` (optional, mutated in place) maps variant index to the
+    :class:`~repro.analysis.wcrt.WarmHint` of the previous sample in an
+    adjacent-point chain; each schedulable verdict replaces the variant's
+    entry with this sample's converged map, so consecutive utilisation
+    steps of one sample index seed each other.  Hints are strictly
+    re-verified before use (cold fallback on any mismatch), so chained
+    verdicts — and the full WCRT results behind them — stay bit-identical
+    to cold runs.
+
+    ``budget`` (one :class:`~repro.budget.Budget` covering *all* variants
+    of the sample) lets an over-budget analysis abort cooperatively with
     :class:`~repro.errors.BudgetExceeded` instead of running on until the
     supervisor's process-kill watchdog fires.
     """
-    rng = random.Random(sample_seed)
-    taskset = generate_taskset(rng, base_platform, utilization, generation)
+    if taskset is None:
+        rng = random.Random(sample_seed)
+        taskset = generate_taskset(rng, base_platform, utilization, generation)
     weight = taskset.total_utilization(base_platform.d_mem)
-    verdicts = tuple(
-        is_schedulable(
+    variants = tuple(variants)
+    order, dominators, loose_order, dominated = _dominance_plan(variants)
+    if utilization <= _SUCCESS_ORDER_UTILIZATION:
+        # Below the cliff most variants pass: run the loose (cheap)
+        # baselines first so their successes discharge the tighter
+        # analyses.  Above it, tightest-first failure skips pay instead.
+        # Both skip rules are checked in either order; the order only
+        # decides which evidence exists by the time a variant comes up.
+        order = loose_order
+    verdicts: List[bool] = [False] * len(variants)
+    missed: List[bool] = [False] * len(variants)
+    for index in order:
+        variant = variants[index]
+        if any(verdicts[dom] for dom in dominated[index]):
+            # A dominated variant is schedulable: this variant's
+            # (pointwise smaller) WCRT bounds converge below the same
+            # deadlines.  No converged map exists to donate to the hint
+            # chain, so any stale entry is dropped.
+            verdicts[index] = True
+            if perf is not None:
+                perf.dominance_skips += 1
+            if hint_chain is not None:
+                hint_chain.pop(index, None)
+            continue
+        if any(missed[dom] for dom in dominators[index]):
+            # A dominating variant already saw a genuine deadline miss:
+            # this variant's (larger) WCRT bound misses it too.
+            if perf is not None:
+                perf.dominance_skips += 1
+            continue
+        hint = hint_chain.get(index) if hint_chain is not None else None
+        verdict = check_schedulability(
             taskset,
             base_platform.with_bus_policy(variant.policy),
             variant.analysis,
             perf=perf,
             budget=budget,
+            warm_hint=hint,
         )
-        for variant in variants
-    )
-    return SampleOutcome(weight=weight, verdicts=verdicts)
+        verdicts[index] = verdict.schedulable
+        wcrt = verdict.wcrt
+        missed[index] = wcrt is not None and wcrt.failed_task is not None
+        if hint_chain is not None:
+            if wcrt is not None and wcrt.schedulable:
+                hint_chain[index] = WarmHint(
+                    response_times={
+                        task.priority: value
+                        for task, value in wcrt.response_times.items()
+                    },
+                    outer_iterations=wcrt.outer_iterations,
+                )
+            else:
+                # A donor is only useful while the chain stays schedulable;
+                # drop it rather than offer a stale map to every later step.
+                hint_chain.pop(index, None)
+    return SampleOutcome(weight=weight, verdicts=tuple(verdicts))
+
+
+def prewarm_items(
+    base_platform: Platform,
+    variants: Sequence[Variant],
+    generation: GenerationConfig,
+    items: Sequence[WorkItem],
+    perf: Optional[PerfCounters] = None,
+    context: Optional[Dict] = None,
+) -> Optional[Dict]:
+    """Pre-generate a chunk's task sets and batch-compile their pair tables.
+
+    Fills ``context["tasksets"]`` (seed-keyed) so :func:`evaluate_item`
+    skips per-sample generation, then runs one
+    :func:`~repro.model.interference.prefill_batch` per distinct
+    CRPD/CPRO approach pair among the array-kernel variants — the whole
+    point's per-pair tables compile in a single batch instead of one lazy
+    lookup at a time.  Purely an optimisation: every step is idempotent
+    and the analyses recompute anything missing, so a skipped or failed
+    prewarm never changes results.
+    """
+    if context is None:
+        return None
+    tasksets = context.setdefault("tasksets", {})
+    fresh = []
+    for item in items:
+        if item.seed not in tasksets:
+            rng = random.Random(item.seed)
+            taskset = generate_taskset(rng, base_platform, item.utilization, generation)
+            tasksets[item.seed] = taskset
+            fresh.append(taskset)
+    if fresh:
+        combos = {
+            (variant.analysis.crpd_approach, variant.analysis.cpro_approach)
+            for variant in variants
+            if variant.analysis.array_kernel and variant.analysis.bitset_kernel
+        }
+        for crpd_approach, cpro_approach in sorted(
+            combos, key=lambda pair: (pair[0].name, pair[1].name)
+        ):
+            prefill_batch(tuple(fresh), crpd_approach, cpro_approach, perf=perf)
+    return context
 
 
 def evaluate_item(
@@ -110,16 +334,37 @@ def evaluate_item(
     sample_seed: int,
     perf: Optional[PerfCounters] = None,
     budget: Optional[Budget] = None,
+    *,
+    point: Optional[int] = None,
+    sample: Optional[int] = None,
+    context: Optional[Dict] = None,
 ) -> Tuple[float, Tuple[bool, ...]]:
     """Supervisor-facing adapter: :func:`evaluate_sample` as raw payload.
 
-    Module-level so it pickles by reference into spawn workers.
+    Module-level so it pickles by reference into spawn workers.  The
+    keyword-only ``point``/``sample``/``context`` trio implements the
+    supervisor's shared-context protocol (``supports_context`` below):
+    ``context`` carries the pre-generated task sets of
+    :func:`prewarm_items` (consumed here, one use each) and the per-sample
+    warm-hint chains threaded through consecutive utilisation points.
     """
+    taskset = None
+    hint_chain = None
+    if context is not None:
+        taskset = context.setdefault("tasksets", {}).pop(sample_seed, None)
+        if sample is not None:
+            hint_chain = context.setdefault("chains", {}).setdefault(sample, {})
     outcome = evaluate_sample(
         base_platform, utilization, variants, generation, sample_seed, perf,
-        budget=budget,
+        budget=budget, taskset=taskset, hint_chain=hint_chain,
     )
     return outcome.weight, outcome.verdicts
+
+
+#: Supervisor protocol: accept the ``point``/``sample``/``context`` kwargs.
+evaluate_item.supports_context = True
+#: Supervisor protocol: per-chunk batch prewarming hook.
+evaluate_item.prewarm = prewarm_items
 
 
 class CurveOutcomes(Dict[float, List[SampleOutcome]]):
@@ -199,6 +444,16 @@ def run_curve(
     flattened ``(point, sample)`` items are evaluated in supervised
     worker processes; results are bit-identical to the sequential run
     because the per-sample seeds do not depend on execution order.
+
+    Cross-point warm-start chains: on the sequential path each sample
+    index carries its converged response-time maps from utilisation ``u``
+    into ``u + δ`` as :class:`~repro.analysis.wcrt.WarmHint`\\ s (strictly
+    re-verified, cold fallback — see :func:`evaluate_sample`), because one
+    shared evaluation context survives the whole curve.  Worker chunks
+    never span sweep points (see
+    :func:`~repro.experiments.supervisor.chunked`), so parallel runs get
+    per-point batch prewarming but no cross-point chains; verdicts are
+    bit-identical either way.
 
     ``journal_dir`` checkpoints every completed item into an append-only
     JSONL journal keyed by the sweep fingerprint; with ``resume`` the

@@ -196,6 +196,48 @@ def _digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
+def _prepare_context(
+    evaluate, platform, variants, generation, items, perf
+) -> Optional[Dict]:
+    """Build the optional shared evaluation context for a batch of items.
+
+    The context protocol: an ``evaluate`` callable may declare
+    ``evaluate.supports_context = True`` to receive keyword-only
+    ``point``/``sample``/``context`` arguments, and may additionally
+    expose ``evaluate.prewarm(platform, variants, generation, items,
+    perf, context)`` to pre-populate the context for a whole chunk (e.g.
+    batch-compiling every task set of a sweep point at once).  Prewarming
+    is strictly an optimisation — a failing hook is ignored and the
+    per-item evaluation recomputes whatever is missing, so results never
+    depend on it.
+    """
+    if not getattr(evaluate, "supports_context", False):
+        return None
+    context: Dict = {}
+    prewarm = getattr(evaluate, "prewarm", None)
+    if prewarm is not None:
+        try:
+            prewarm(platform, variants, generation, items, perf, context)
+        except Exception:  # noqa: BLE001 — prewarming must never fail a chunk
+            context = {}
+    return context
+
+
+def _call_evaluate(
+    evaluate, platform, variants, generation, item, perf, budget, context
+):
+    """Invoke ``evaluate`` for one item, honouring the context protocol."""
+    if context is None:
+        return evaluate(
+            platform, item.utilization, variants, generation, item.seed,
+            perf, budget,
+        )
+    return evaluate(
+        platform, item.utilization, variants, generation, item.seed,
+        perf, budget, point=item.point, sample=item.sample, context=context,
+    )
+
+
 def run_chunk(args):
     """Evaluate one chunk of ``(item, attempt)`` pairs (worker side).
 
@@ -210,6 +252,10 @@ def run_chunk(args):
     """
     evaluate, platform, variants, generation, chunk, fault, sample_budget = args
     perf = PerfCounters()
+    context = _prepare_context(
+        evaluate, platform, variants, generation,
+        [item for item, _attempt in chunk], perf,
+    )
     results: List[Tuple] = []
     for item, attempt in chunk:
         budget = (
@@ -219,9 +265,9 @@ def run_chunk(args):
         )
         try:
             trigger_sweep_fault(fault, item.point, item.sample, attempt)
-            weight, verdicts = evaluate(
-                platform, item.utilization, variants, generation, item.seed,
-                perf, budget,
+            weight, verdicts = _call_evaluate(
+                evaluate, platform, variants, generation, item, perf, budget,
+                context,
             )
             results.append(("ok", item.key, weight, tuple(verdicts)))
         except AnalysisAborted as abort:
@@ -254,13 +300,22 @@ def chunked(
 
     A few chunks per worker smooths out the cost imbalance between easy
     and hard samples without drowning the pool in per-item dispatch
-    overhead.
+    overhead.  Chunks never span sweep points: each point's samples are
+    split on their own, so a chunk's prewarm hook (see
+    :func:`_prepare_context`) always sees task sets of a single point and
+    the batch kernel compiles a whole point together.  Chunk boundaries
+    are not part of the journal fingerprint — per-sample seeds make any
+    partitioning bit-identical.
     """
     chunk_size = max(1, -(-len(items) // (max(jobs, 1) * 4)))
-    return [
-        tuple(items[start : start + chunk_size])
-        for start in range(0, len(items), chunk_size)
-    ]
+    chunks: List[Tuple[WorkItem, ...]] = []
+    for _point, group in itertools.groupby(items, key=lambda item: item.point):
+        point_items = tuple(group)
+        chunks.extend(
+            point_items[start : start + chunk_size]
+            for start in range(0, len(point_items), chunk_size)
+        )
+    return chunks
 
 
 class SweepSupervisor:
@@ -324,17 +379,41 @@ class SweepSupervisor:
         """Sequential execution with per-sample isolation and retries.
 
         No hang watchdog and no crash recovery are possible in-process;
-        use ``jobs >= 2`` for full supervision.
+        use ``jobs >= 2`` for full supervision.  One shared evaluation
+        context (see :func:`_prepare_context`) survives the whole run —
+        prewarmed point by point as execution reaches it — so
+        context-aware evaluators can chain warm hints across adjacent
+        sweep points, something the per-chunk contexts of the parallel
+        path cannot offer.
         """
         completed: Dict[ItemKey, ItemResult] = {}
         failures: List[SampleFailure] = []
         attempts: Dict[ItemKey, int] = {item.key: 0 for item in items}
         queue: Deque[WorkItem] = deque(items)
         perf = PerfCounters()
+        supports_context = getattr(self.evaluate, "supports_context", False)
+        prewarm = (
+            getattr(self.evaluate, "prewarm", None) if supports_context else None
+        )
+        context: Optional[Dict] = {} if supports_context else None
+        prewarmed_points: set = set()
+        by_point: Dict[int, List[WorkItem]] = {}
+        if prewarm is not None:
+            for item in items:
+                by_point.setdefault(item.point, []).append(item)
         while queue:
             self._check_interrupt()
             item = queue.popleft()
             attempt = attempts[item.key]
+            if prewarm is not None and item.point not in prewarmed_points:
+                prewarmed_points.add(item.point)
+                try:
+                    prewarm(
+                        self.platform, self.variants, self.generation,
+                        by_point[item.point], perf, context,
+                    )
+                except Exception:  # noqa: BLE001 — prewarming is optional
+                    pass
             budget = (
                 Budget(wall_seconds=self.settings.sample_budget)
                 if self.settings.sample_budget is not None
@@ -342,14 +421,15 @@ class SweepSupervisor:
             )
             try:
                 trigger_sweep_fault(self.fault, item.point, item.sample, attempt)
-                weight, verdicts = self.evaluate(
+                weight, verdicts = _call_evaluate(
+                    self.evaluate,
                     self.platform,
-                    item.utilization,
                     self.variants,
                     self.generation,
-                    item.seed,
+                    item,
                     perf,
                     budget,
+                    context,
                 )
             except AnalysisAborted as abort:
                 # Budget aborts are deterministic for the sample: straight

@@ -11,7 +11,13 @@ of guessed.  :class:`PerfCounters` tracks
   per-pair :math:`W` terms are fused into the ``bao`` sums),
 * how often the warm-started fixed point and the bitmask cache-set kernel
   engaged (``warm_starts``, ``warm_start_iterations_saved``,
-  ``bitset_table_builds``), and
+  ``bitset_table_builds``),
+* how much cross-analysis work the sweep layer avoided: batch-compiled
+  task sets and vectorised popcount batches (``batch_analyses``,
+  ``array_kernel_batches``), accepted adjacent-point/-variant warm starts
+  and the outer rounds they skipped (``adjacent_warm_starts``,
+  ``adjacent_warm_start_iterations_saved``), and analyses skipped via the
+  variant dominance ordering (``dominance_skips``), and
 * per-phase wall-clock time (task-set ``generation`` vs ``analysis``).
 
 Counters are plain integers so the bookkeeping stays cheap enough to leave
@@ -49,9 +55,27 @@ class PerfCounters:
     #: Outer rounds skipped by warm starts: the recorded cold run's
     #: ``outer_iterations`` minus the single re-verification round.
     warm_start_iterations_saved: int = 0
+    #: Analyses seeded from an *adjacent* converged map — a neighbouring
+    #: sweep point's sample, the previous probe of a sensitivity bisection,
+    #: or a dominating analysis variant of the same task set — accepted
+    #: after re-verification (see ``WarmHint`` in :mod:`repro.analysis.wcrt`).
+    adjacent_warm_starts: int = 0
+    #: Outer rounds skipped by accepted adjacent warm starts: the donor's
+    #: recorded round count minus the rounds the hinted run executed.
+    adjacent_warm_start_iterations_saved: int = 0
     #: Interference-table constructions (one per task set on first use of
     #: the bitmask kernel; reused across runs through ``TaskSet.derived``).
     bitset_table_builds: int = 0
+    #: Task sets whose per-pair CRPD/CPRO tables were batch-compiled by the
+    #: :class:`~repro.model.interference.BatchInterferenceTable` kernel.
+    batch_analyses: int = 0
+    #: Batch compilations whose popcounts ran on the vectorised numpy
+    #: backend (<= 64-set platforms with the optional ``fast`` extra).
+    array_kernel_batches: int = 0
+    #: Analyses skipped entirely because a dominating variant of the same
+    #: task set already failed with a genuine deadline miss (see
+    #: :mod:`repro.experiments.runner`).
+    dominance_skips: int = 0
     #: Analyses aborted cooperatively by a budget or cancel token (see
     #: :mod:`repro.budget`) instead of running to a verdict.
     budget_aborts: int = 0
@@ -146,6 +170,17 @@ class PerfCounters:
                 f"  warm starts       {self.warm_starts:>12d}   "
                 f"outer rounds saved {self.warm_start_iterations_saved:>8d}   "
                 f"bitset tables {self.bitset_table_builds:>6d}"
+            )
+        if self.adjacent_warm_starts or self.dominance_skips:
+            lines.append(
+                f"  adjacent warm     {self.adjacent_warm_starts:>12d}   "
+                f"outer rounds saved {self.adjacent_warm_start_iterations_saved:>8d}   "
+                f"dominance skips {self.dominance_skips:>4d}"
+            )
+        if self.batch_analyses:
+            lines.append(
+                f"  batched tasksets  {self.batch_analyses:>12d}   "
+                f"array batches    {self.array_kernel_batches:>10d}"
             )
         if self.budget_aborts:
             lines.append(f"  budget aborts     {self.budget_aborts:>12d}")

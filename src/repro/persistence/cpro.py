@@ -240,6 +240,20 @@ class CproCalculator:
         """Whether this calculator runs on the bitmask kernel."""
         return self._bitset
 
+    def prefill_pairs(self, pairs: Dict[Tuple[int, int], int]) -> None:
+        """Adopt batch-compiled eviction counts, keyed ``(pri_j, pri_i)``.
+
+        Fed by :class:`~repro.model.interference.BatchInterferenceTable`;
+        every value equals what :meth:`eviction_count` would compute
+        lazily, so adopting them only removes cache misses.
+
+        Note the key order: CPRO pairs are keyed evictee-first, mirroring
+        :meth:`eviction_count`'s signature — the reverse of the CRPD
+        calculator's ``(pri_i, pri_j)``.
+        """
+        for key, value in pairs.items():
+            self._cache.setdefault(key, value)
+
     def eviction_count(self, task_j: Task, task_i: Task) -> int:
         """Evictable-PCB count of ``task_j`` within ``task_i``'s window."""
         key = (task_j.priority, task_i.priority)

@@ -55,6 +55,7 @@ def config_to_dict(config: AnalysisConfig) -> Dict:
         "tdma_slot_alignment": config.tdma_slot_alignment,
         "memoization": config.memoization,
         "bitset_kernel": config.bitset_kernel,
+        "array_kernel": config.array_kernel,
         "warm_start": config.warm_start,
     }
 
@@ -79,6 +80,7 @@ def config_from_dict(data: Dict) -> AnalysisConfig:
             ),
             memoization=data.get("memoization", defaults.memoization),
             bitset_kernel=data.get("bitset_kernel", defaults.bitset_kernel),
+            array_kernel=data.get("array_kernel", defaults.array_kernel),
             warm_start=data.get("warm_start", defaults.warm_start),
         )
     except ValueError as error:

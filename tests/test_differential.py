@@ -12,11 +12,22 @@ iteration counts):
   :class:`repro.model.interference.InterferenceTable`) versus the retained
   ``frozenset`` algebra (``AnalysisConfig(bitset_kernel=False)``);
 * the warm-started fixed point (re-verifying a previously converged map)
-  versus a cold analysis of a fresh task-set object.
+  versus a cold analysis of a fresh task-set object;
+* the batched sweep-point pair-table compilation
+  (:class:`repro.model.interference.BatchInterferenceTable`, with or
+  without the numpy popcount backend) versus lazy per-lookup fills
+  (``AnalysisConfig(array_kernel=False)``);
+* the adjacent warm-start chains (cross-utilisation hint chains of
+  :func:`repro.experiments.runner.evaluate_sample` and the hint-chained
+  sensitivity bisections) versus hint-free cold runs;
+* the dominance-ordered variant evaluation of ``evaluate_sample`` (both
+  the tightest-first and loosest-first orders) versus brute-forcing every
+  variant independently.
 
-This file pins all three down over broad randomized samples; the fuzzing
+This file pins them down over broad randomized samples; the fuzzing
 counterparts are the ``memo-identity`` / ``bitset-identity`` /
-``warm-start-identity`` oracles of :mod:`repro.verify.oracles`.
+``warm-start-identity`` / ``batch-identity`` /
+``adjacent-warmstart-identity`` oracles of :mod:`repro.verify.oracles`.
 """
 
 import random
@@ -25,12 +36,22 @@ from dataclasses import replace
 import pytest
 
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.wcrt import analyze_taskset
+from repro.analysis.schedulability import check_schedulability
+from repro.analysis.sensitivity import breakdown_d_mem, breakdown_period_scale
+from repro.analysis.wcrt import WarmHint, analyze_taskset
 from repro.budget import Budget
 from repro.crpd.approaches import CrpdApproach
-from repro.experiments.config import default_platform
-from repro.generation.taskset_gen import generate_taskset
-from repro.model.platform import BusPolicy
+from repro.experiments.config import (
+    SweepSettings,
+    default_platform,
+    standard_variants,
+)
+from repro.experiments.runner import _sample_seed, evaluate_sample, run_curve
+from repro.generation.taskset_gen import GenerationConfig, generate_taskset
+from repro.model import interference as interference_mod
+from repro.model.interference import prefill_batch
+from repro.model.platform import BusPolicy, CacheGeometry
+from repro.perf import PerfCounters
 from repro.persistence.cpro import CproApproach
 
 #: Seeds x utilisations: 60 distinct random task sets, spanning trivially
@@ -249,3 +270,254 @@ class TestWarmStartIsInvisible:
         assert second == first
         assert second.perf.warm_starts == 0
         assert second.perf.outer_iterations == first.perf.outer_iterations
+
+
+def _small_platform():
+    """The default platform shrunk to 64 cache sets.
+
+    Every mask of a 64-set cache fits one machine word, which is the
+    precondition for the numpy ``uint64`` popcount backend — the grid
+    over this platform therefore exercises the vectorised path whenever
+    numpy is importable, and the pure-Python word loop otherwise.
+    """
+    base = default_platform()
+    return replace(base, cache=CacheGeometry(num_sets=64, block_size=32))
+
+
+def _compare_batch(taskset, platform, config):
+    """Batched pair-table compilation vs the lazy reference, bit for bit."""
+    batched_config = replace(config, bitset_kernel=True, array_kernel=True)
+    prefill_batch(
+        (taskset,),
+        batched_config.crpd_approach,
+        batched_config.cpro_approach,
+    )
+    batched = analyze_taskset(taskset, platform, batched_config)
+    reference = analyze_taskset(
+        taskset, platform, replace(config, array_kernel=False)
+    )
+    assert batched == reference
+    return batched
+
+
+class TestBatchKernelIsInvisible:
+    @pytest.mark.parametrize("seed,utilization", SAMPLE_GRID[::3])
+    def test_default_analysis_identical(self, seed, utilization):
+        base = default_platform()
+        taskset = generate_taskset(random.Random(seed), base, utilization)
+        for policy in BusPolicy:
+            _compare_batch(
+                taskset, base.with_bus_policy(policy), AnalysisConfig()
+            )
+
+    @pytest.mark.parametrize("crpd", list(CrpdApproach))
+    @pytest.mark.parametrize("cpro", list(CproApproach))
+    def test_every_crpd_cpro_combination_identical(self, crpd, cpro):
+        base = default_platform()
+        config = AnalysisConfig(crpd_approach=crpd, cpro_approach=cpro)
+        for seed in range(3):
+            taskset = generate_taskset(
+                random.Random(800 + seed), base, 0.35 + 0.15 * seed
+            )
+            for policy in (BusPolicy.FP, BusPolicy.RR):
+                _compare_batch(taskset, base.with_bus_policy(policy), config)
+
+    @pytest.mark.parametrize("seed,utilization", SAMPLE_GRID[::4])
+    def test_small_platform_identical(self, seed, utilization):
+        # <= 64 cache sets: the numpy uint64 popcount backend engages
+        # when numpy is importable (pure-Python word loop otherwise).
+        small = _small_platform()
+        taskset = generate_taskset(random.Random(seed), small, utilization)
+        for policy in BusPolicy:
+            _compare_batch(
+                taskset, small.with_bus_policy(policy), AnalysisConfig()
+            )
+
+    def test_vector_backend_engages_on_small_platform(self):
+        small = _small_platform()
+        taskset = generate_taskset(random.Random(900), small, 0.4)
+        perf = PerfCounters()
+        batch = prefill_batch(
+            (taskset,),
+            AnalysisConfig().crpd_approach,
+            AnalysisConfig().cpro_approach,
+            perf=perf,
+        )
+        assert batch is not None
+        assert perf.batch_analyses == 1
+        if interference_mod._array_popcounts_available():
+            assert perf.array_kernel_batches == 1
+        else:
+            assert perf.array_kernel_batches == 0
+
+    def test_numpy_absent_pure_python_fallback(self, monkeypatch):
+        # Simulate a container without the optional `.[fast]` extra: the
+        # batch must compile through the pure-Python word loop and stay
+        # bit-identical to the lazy reference.
+        monkeypatch.setattr(interference_mod, "_np", None)
+        assert not interference_mod._array_popcounts_available()
+        small = _small_platform()
+        config = AnalysisConfig()
+        for seed in (901, 902):
+            taskset = generate_taskset(random.Random(seed), small, 0.45)
+            perf = PerfCounters()
+            prefill_batch(
+                (taskset,),
+                config.crpd_approach,
+                config.cpro_approach,
+                perf=perf,
+            )
+            assert perf.batch_analyses == 1
+            assert perf.array_kernel_batches == 0
+            for policy in (BusPolicy.FP, BusPolicy.TDMA):
+                platform = small.with_bus_policy(policy)
+                batched = analyze_taskset(taskset, platform, config)
+                reference = analyze_taskset(
+                    taskset, platform, replace(config, array_kernel=False)
+                )
+                assert batched == reference
+
+
+class TestAdjacentWarmStartIsInvisible:
+    """Cross-analysis hint chains never change a verdict or a bound."""
+
+    def test_chained_sample_identical_and_chain_engages(self):
+        base = default_platform()
+        variants = standard_variants(True)
+        generation = GenerationConfig()
+        taskset = generate_taskset(random.Random(9000), base, 0.3)
+        chain = {}
+        first = evaluate_sample(
+            base, 0.3, variants, generation, 9000,
+            taskset=taskset, hint_chain=chain,
+        )
+        assert chain  # schedulable analyses donated converged maps
+        # Re-evaluate an equal-but-fresh task set with the chain attached:
+        # hints verify exactly, and the verdicts stay bit-identical to a
+        # chain-free evaluation.
+        again = generate_taskset(random.Random(9000), base, 0.3)
+        perf = PerfCounters()
+        chained = evaluate_sample(
+            base, 0.3, variants, generation, 9000, perf,
+            taskset=again, hint_chain=chain,
+        )
+        cold = evaluate_sample(
+            base, 0.3, variants, generation, 9000,
+            taskset=generate_taskset(random.Random(9000), base, 0.3),
+        )
+        assert chained.verdicts == cold.verdicts == first.verdicts
+        assert perf.adjacent_warm_starts >= 1
+        assert perf.adjacent_warm_start_iterations_saved >= 0
+
+    def test_curve_chains_bit_identical_to_cold_samples(self):
+        base = default_platform()
+        variants = standard_variants(True)
+        settings = SweepSettings(
+            samples=4,
+            seed=77,
+            utilizations=(0.3, 0.4, 0.5),
+            jobs=1,
+        )
+        outcomes = run_curve(base, variants, settings)
+        for point, utilization in enumerate(settings.utilizations):
+            for i, outcome in enumerate(outcomes[utilization]):
+                seed = _sample_seed(settings.seed, point, i)
+                cold = evaluate_sample(
+                    base, utilization, variants, settings.generation, seed
+                )
+                assert outcome.verdicts == cold.verdicts
+                assert outcome.weight == cold.weight
+
+    @pytest.mark.parametrize("policy", [BusPolicy.FP, BusPolicy.RR])
+    def test_hint_chained_bisections_identical(self, policy):
+        base = default_platform().with_bus_policy(policy)
+        chained_config = AnalysisConfig()
+        cold_config = replace(chained_config, warm_start=False)
+        for seed in (9100, 9101, 9102):
+            taskset = generate_taskset(random.Random(seed), base, 0.4)
+            perf = PerfCounters()
+            assert breakdown_d_mem(
+                taskset, base, chained_config, perf=perf
+            ) == breakdown_d_mem(
+                generate_taskset(random.Random(seed), base, 0.4),
+                base,
+                cold_config,
+            )
+            assert breakdown_period_scale(
+                generate_taskset(random.Random(seed), base, 0.4),
+                base,
+                chained_config,
+            ) == breakdown_period_scale(
+                generate_taskset(random.Random(seed), base, 0.4),
+                base,
+                cold_config,
+            )
+
+    def test_foreign_hint_never_perturbs_a_cold_analysis(self):
+        # A hint from a *different* problem (scaled periods) must either
+        # verify exactly or be discarded — the result is bit-identical to
+        # the cold analysis in both cases.
+        base = default_platform()
+        config = AnalysisConfig()
+        for seed in (9200, 9201):
+            taskset = generate_taskset(random.Random(seed), base, 0.45)
+            donor_set = generate_taskset(random.Random(seed), base, 0.45)
+            scaled = donor_set  # same structure, analysed independently
+            donor = analyze_taskset(scaled, base, config)
+            if not donor.schedulable:
+                continue
+            hint = WarmHint(
+                response_times={
+                    task.priority: value
+                    for task, value in donor.response_times.items()
+                },
+                outer_iterations=donor.outer_iterations,
+            )
+            fresh = generate_taskset(random.Random(seed), base, 0.45)
+            hinted = analyze_taskset(fresh, base, config, warm_hint=hint)
+            cold = analyze_taskset(
+                generate_taskset(random.Random(seed), base, 0.45),
+                base,
+                config,
+            )
+            # The two runs analyse equal-but-distinct task objects, so
+            # compare by priority (task equality is identity-based).
+            assert hinted.schedulable == cold.schedulable
+            assert hinted.outer_iterations == cold.outer_iterations
+            assert {
+                task.priority: value
+                for task, value in hinted.response_times.items()
+            } == {
+                task.priority: value
+                for task, value in cold.response_times.items()
+            }
+
+
+class TestDominanceSkipsAreInvisible:
+    """Skipped analyses report the verdict brute force would have."""
+
+    #: Low utilisations exercise the loosest-first success-skip order,
+    #: high ones the tightest-first failure-skip order (see
+    #: ``_SUCCESS_ORDER_UTILIZATION`` in repro.experiments.runner).
+    @pytest.mark.parametrize("utilization", [0.3, 0.45, 0.6, 0.8])
+    def test_verdicts_match_brute_force(self, utilization):
+        base = default_platform()
+        variants = standard_variants(True)
+        generation = GenerationConfig()
+        for i in range(6):
+            seed = _sample_seed(2020, int(utilization * 100), i)
+            outcome = evaluate_sample(
+                base, utilization, variants, generation, seed
+            )
+            brute_set = generate_taskset(
+                random.Random(seed), base, utilization, generation
+            )
+            brute = tuple(
+                check_schedulability(
+                    brute_set,
+                    base.with_bus_policy(variant.policy),
+                    variant.analysis,
+                ).schedulable
+                for variant in variants
+            )
+            assert outcome.verdicts == brute

@@ -71,7 +71,10 @@ class TestPerfCounters:
 class TestKernelIntegration:
     def test_converged_analysis_reports_memo_hits(self):
         taskset, platform = _taskset()
-        result = analyze_taskset(taskset, platform, PERSISTENCE_AWARE)
+        # The fused array kernel bypasses the per-term memo caches, so pin
+        # the configuration where the memo subsystem is active.
+        config = replace(PERSISTENCE_AWARE, array_kernel=False)
+        result = analyze_taskset(taskset, platform, config)
         perf = result.perf
         assert perf is not None
         assert perf.analyses == 1
