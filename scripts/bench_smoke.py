@@ -36,6 +36,7 @@ THRESHOLDS = REPO_ROOT / "benchmarks" / "thresholds.json"
 BENCH_MODULES = (
     "benchmarks/test_bench_micro.py",
     "benchmarks/test_bench_e2e_sweep.py",
+    "benchmarks/test_bench_service_cache.py",
 )
 
 sys.path.insert(0, str(REPO_ROOT / "src"))

@@ -1,0 +1,496 @@
+#!/usr/bin/env python3
+"""Chaos harness for the crash-safe cache, coalescing and shard router.
+
+Proves, against *real* processes with injected faults, the claims
+``docs/CACHE.md`` makes (runnable locally and as the ``chaos-smoke`` CI
+job):
+
+1. **Differential cache oracle** — a cache hit is byte-identical to the
+   cold compute, and entries survive a daemon restart (durability).
+2. **Kill mid-write** — ``REPRO_CHAOS_FAULT=kill-mid-write`` makes the
+   daemon die (exit 137) between writing the tmp file and committing an
+   entry: committed state is untouched, the torn dropping is swept on
+   restart, and the victim request recomputes bit-identically.
+3. **Corruption quarantine** — truncated, bit-flipped and empty entry
+   files are quarantined (moved aside, never deleted) on restart; the
+   affected requests recompute, everything else still hits.
+4. **Coalescing** — N identical concurrent requests run exactly one
+   analysis; a budget-aborted request never poisons the cache and an
+   identical uncapped rerun computes, completes and caches.
+5. **Shard router failover** — with one shard SIGSTOPped (slow) or
+   SIGKILLed (dead), idempotent requests fail over to the surviving
+   shard with capped backoff; the router stays ready until *every*
+   shard is gone, then degrades to a typed 503.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments import default_platform  # noqa: E402
+from repro.generation import generate_taskset  # noqa: E402
+from repro.resultcache import (  # noqa: E402
+    CHAOS_FAULT_ENV,
+    CHAOS_KILL_STATUS,
+    request_fingerprint,
+)
+from repro.serialization import taskset_to_json  # noqa: E402
+from repro.service.protocol import parse_request  # noqa: E402
+
+ENV = dict(
+    os.environ,
+    PYTHONPATH=str(ROOT / "src") + os.pathsep + os.environ.get("PYTHONPATH", ""),
+)
+ENV.pop(CHAOS_FAULT_ENV, None)
+
+
+def expect(condition, message):
+    if not condition:
+        raise SystemExit(f"chaos-smoke: FAILED: {message}")
+    print(f"  ok: {message}", flush=True)
+
+
+def http(method, url, document=None, timeout=120):
+    """One JSON request; returns (status, parsed body).
+
+    Transport-level failures (connection refused/reset — e.g. the peer
+    was deliberately killed mid-request) return ``(None, None)`` so
+    scenarios can assert on them.
+    """
+    data = json.dumps(document).encode("utf-8") if document is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+    except (urllib.error.URLError, ConnectionError, OSError):
+        return None, None
+
+
+def start_process(args, env=None, marker="listening on"):
+    """Launch a repro server process; returns (process, scraped base URL)."""
+    print(f"$ {' '.join(args)}", flush=True)
+    process = subprocess.Popen(
+        args, cwd=ROOT, env=env or ENV, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if marker in line:
+            return process, line.strip().rsplit(" ", 1)[-1]
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    out, err = process.communicate(timeout=10)
+    raise SystemExit(f"chaos-smoke: process never came up:\n{out}\n{err}")
+
+
+def start_daemon(cache_dir, extra=(), env=None):
+    args = [
+        sys.executable, "-m", "repro.service",
+        "--port", "0", "--workers", "2", "--max-in-flight", "8",
+        "--cache-dir", str(cache_dir), *extra,
+    ]
+    return start_process(args, env=env)
+
+
+def stop(process, expect_code=None, sig=signal.SIGTERM):
+    if process.poll() is None:
+        process.send_signal(sig)
+    try:
+        process.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.communicate(timeout=10)
+    if expect_code is not None:
+        expect(
+            process.returncode == expect_code,
+            f"process exited {expect_code} (got {process.returncode})",
+        )
+
+
+def envelope_for(seed, utilization=0.3):
+    platform = default_platform()
+    taskset = generate_taskset(random.Random(seed), platform, utilization)
+    return json.loads(taskset_to_json(taskset, platform))
+
+
+def fingerprint_of(envelope):
+    """Client-side fingerprint, computed exactly as the daemon computes it."""
+    request = parse_request({"id": "fp", "taskset": envelope})
+    return request_fingerprint(request.taskset, request.platform, request.config)
+
+
+def entry_path(cache_dir, fingerprint):
+    return pathlib.Path(cache_dir) / "entries" / fingerprint[:2] / f"{fingerprint}.json"
+
+
+def comparable(body):
+    """Response body minus routing/caching markers and the caller id."""
+    return {k: v for k, v in body.items() if k not in ("id", "cache", "shard")}
+
+
+# -- scenario 1: differential cache oracle ------------------------------------
+
+
+def cache_oracle_scenario(cache_dir):
+    print("[1] differential cache oracle", flush=True)
+    envelope = envelope_for(seed=11)
+    process, url = start_daemon(cache_dir)
+    try:
+        status, cold = http("POST", f"{url}/analyze", {"id": "cold", "taskset": envelope})
+        expect(status == 200 and cold["status"] == "ok", "cold compute completes")
+        expect("cache" not in cold, "cold compute is not marked as a hit")
+        status, warm = http("POST", f"{url}/analyze", {"id": "warm", "taskset": envelope})
+        expect(status == 200 and warm.get("cache") == "hit", "second request hits the cache")
+        expect(
+            comparable(cold) == comparable(warm),
+            "cache hit is bit-identical to the cold compute",
+        )
+        _status, stats = http("GET", f"{url}/stats")
+        expect(stats["perf"]["result_cache_hits"] >= 1, "/stats counts the hit")
+        expect(stats["cache"]["entries"] >= 1, "/stats exposes the entry count")
+    finally:
+        stop(process, expect_code=0)
+    # Durability: a fresh process on the same directory still hits.
+    process, url = start_daemon(cache_dir)
+    try:
+        status, after = http(
+            "POST", f"{url}/analyze", {"id": "after-restart", "taskset": envelope}
+        )
+        expect(
+            status == 200 and after.get("cache") == "hit",
+            "entry survives a daemon restart",
+        )
+        expect(
+            comparable(cold) == comparable(after),
+            "post-restart hit is bit-identical to the original compute",
+        )
+    finally:
+        stop(process, expect_code=0)
+    return envelope, cold
+
+
+# -- scenario 2: kill mid-write -----------------------------------------------
+
+
+def kill_mid_write_scenario(cache_dir, committed_envelope, committed_body):
+    print("[2] kill mid-write", flush=True)
+    victim = envelope_for(seed=22)
+    victim_fp = fingerprint_of(victim)
+    chaos_env = dict(ENV)
+    chaos_env[CHAOS_FAULT_ENV] = "kill-mid-write"
+    process, url = start_daemon(cache_dir, env=chaos_env)
+    status, body = http("POST", f"{url}/analyze", {"id": "victim", "taskset": victim})
+    expect(
+        status is None or status >= 500,
+        f"request died with the daemon (status={status})",
+    )
+    process.wait(timeout=60)
+    expect(
+        process.returncode == CHAOS_KILL_STATUS,
+        f"daemon was killed mid-write (exit {process.returncode})",
+    )
+    droppings = list(pathlib.Path(cache_dir).rglob("*.tmp"))
+    expect(droppings, f"torn tmp dropping left behind ({len(droppings)} file(s))")
+    expect(
+        not entry_path(cache_dir, victim_fp).exists(),
+        "no partial entry was committed at the final path",
+    )
+    committed_fp = fingerprint_of(committed_envelope)
+    expect(
+        entry_path(cache_dir, committed_fp).exists(),
+        "previously committed entry is untouched",
+    )
+    # Recovery: a clean daemon sweeps the dropping and recomputes.
+    process, url = start_daemon(cache_dir)
+    try:
+        expect(
+            not list(pathlib.Path(cache_dir).rglob("*.tmp")),
+            "startup scan swept the torn dropping",
+        )
+        status, replay = http(
+            "POST", f"{url}/analyze", {"id": "committed", "taskset": committed_envelope}
+        )
+        expect(
+            status == 200 and replay.get("cache") == "hit"
+            and comparable(replay) == comparable(committed_body),
+            "committed entry still hits, bit-identical",
+        )
+        status, recomputed = http(
+            "POST", f"{url}/analyze", {"id": "victim-retry", "taskset": victim}
+        )
+        expect(
+            status == 200 and recomputed["status"] == "ok" and "cache" not in recomputed,
+            "victim request recomputes cleanly",
+        )
+        expect(
+            entry_path(cache_dir, victim_fp).exists(),
+            "recomputed result is committed durably",
+        )
+        _status, stats = http("GET", f"{url}/stats")
+        expect(
+            stats["cache"]["quarantined_files"] == 0,
+            "a swept dropping is not corruption (nothing quarantined)",
+        )
+        return recomputed
+    finally:
+        stop(process, expect_code=0)
+
+
+# -- scenario 3: corruption quarantine ----------------------------------------
+
+
+def corruption_scenario(cache_dir, probes):
+    """``probes``: list of (envelope, known-good body) pairs to corrupt."""
+    print("[3] corruption quarantine", flush=True)
+    (env_a, body_a), (env_b, body_b) = probes
+    path_a = entry_path(cache_dir, fingerprint_of(env_a))
+    path_b = entry_path(cache_dir, fingerprint_of(env_b))
+    # Truncate one entry, flip a payload bit in another, drop an empty file.
+    text = path_a.read_text()
+    path_a.write_text(text[: len(text) // 2])
+    raw = bytearray(path_b.read_bytes())
+    raw[len(raw) // 2] ^= 0x01
+    path_b.write_bytes(bytes(raw))
+    empty = path_a.with_name("0" * 64 + ".json")
+    empty.write_text("")
+    process, url = start_daemon(cache_dir)
+    try:
+        _status, stats = http("GET", f"{url}/stats")
+        expect(
+            stats["cache"]["quarantined_files"] >= 3,
+            f"startup scan quarantined the corrupt files "
+            f"({stats['cache']['quarantined_files']})",
+        )
+        quarantined = list((pathlib.Path(cache_dir) / "quarantine").iterdir())
+        expect(
+            len(quarantined) >= 3,
+            f"corrupt files moved aside, never deleted ({len(quarantined)})",
+        )
+        for name, envelope, original in (("truncated", env_a, body_a), ("bit-flipped", env_b, body_b)):
+            status, body = http(
+                "POST", f"{url}/analyze", {"id": f"re-{name}", "taskset": envelope}
+            )
+            expect(
+                status == 200 and body["status"] == "ok" and "cache" not in body,
+                f"{name} entry misses and recomputes",
+            )
+            expect(
+                comparable(body) == comparable(original),
+                f"recompute after {name} corruption is bit-identical",
+            )
+    finally:
+        stop(process, expect_code=0)
+
+
+# -- scenario 4: coalescing and abort non-poisoning ---------------------------
+
+
+def coalesce_scenario(cache_dir):
+    print("[4] request coalescing", flush=True)
+    envelope = envelope_for(seed=44, utilization=0.4)
+    process, url = start_daemon(cache_dir)
+    try:
+        _status, before = http("GET", f"{url}/stats")
+        results = [None] * 6
+        def submit(index):
+            results[index] = http(
+                "POST", f"{url}/analyze", {"id": f"co-{index}", "taskset": envelope}
+            )
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        bodies = [body for _status, body in results]
+        expect(
+            all(s == 200 and b["status"] == "ok" for s, b in results),
+            "all 6 identical concurrent requests completed",
+        )
+        expect(
+            len({json.dumps(comparable(b), sort_keys=True) for b in bodies}) == 1,
+            "all 6 responses are bit-identical",
+        )
+        _status, after = http("GET", f"{url}/stats")
+        ran = after["perf"]["analyses"] - before["perf"]["analyses"]
+        shared = (
+            after["perf"]["coalesced_requests"] - before["perf"]["coalesced_requests"]
+        ) + (
+            after["perf"]["result_cache_hits"] - before["perf"]["result_cache_hits"]
+        )
+        expect(ran == 1, f"exactly one analysis ran for 6 requests (ran {ran})")
+        expect(shared == 5, f"the other 5 were coalesced or cache hits ({shared})")
+
+        # Budget aborts must never poison the cache: a capped request
+        # aborts, an identical uncapped request *computes* (no hit) and
+        # only then does the fingerprint become durable.
+        heavy = envelope_for(seed=45, utilization=0.9)
+        status, aborted = http(
+            "POST",
+            f"{url}/analyze",
+            {"id": "capped", "taskset": heavy, "max_iterations": 2},
+        )
+        expect(
+            status == 200 and aborted["status"] == "budget-exceeded",
+            "capped request aborts on its iteration budget",
+        )
+        expect(
+            not entry_path(cache_dir, fingerprint_of(heavy)).exists(),
+            "aborted partial was not written to the cache",
+        )
+        status, full = http(
+            "POST", f"{url}/analyze", {"id": "uncapped", "taskset": heavy}
+        )
+        expect(
+            status == 200 and full["status"] == "ok" and "cache" not in full,
+            "identical uncapped request recomputes from scratch",
+        )
+        status, again = http(
+            "POST", f"{url}/analyze", {"id": "uncapped-2", "taskset": heavy}
+        )
+        expect(
+            status == 200 and again.get("cache") == "hit"
+            and comparable(again) == comparable(full),
+            "completed result is cached and hits bit-identically",
+        )
+    finally:
+        stop(process, expect_code=0)
+
+
+# -- scenario 5: shard router failover ----------------------------------------
+
+
+def router_scenario(workdir):
+    print("[5] shard router failover", flush=True)
+    shard_a, url_a = start_daemon(workdir / "shard-a")
+    shard_b, url_b = start_daemon(workdir / "shard-b")
+    router, url = start_process(
+        [
+            sys.executable, "-m", "repro.service.router",
+            "--port", "0", "--shard", url_a, "--shard", url_b,
+            "--health-interval", "0.2", "--forward-timeout", "5",
+            "--backoff-base", "0.05", "--backoff-cap", "0.5",
+        ]
+    )
+    shards = [shard_a, shard_b]
+    try:
+        # Find one envelope per primary shard (deterministic client-side
+        # fingerprints — the same hash the router computes server-side).
+        by_shard = {}
+        for seed in range(100, 200):
+            envelope = envelope_for(seed=seed)
+            primary = int(fingerprint_of(envelope)[:16], 16) % 2
+            if primary not in by_shard:
+                by_shard[primary] = envelope
+            if len(by_shard) == 2:
+                break
+        expect(len(by_shard) == 2, "found envelopes routing to both shards")
+        for shard, envelope in sorted(by_shard.items()):
+            status, body = http(
+                "POST", f"{url}/analyze", {"id": f"route-{shard}", "taskset": envelope}
+            )
+            expect(
+                status == 200 and body["status"] == "ok" and body["shard"] == shard,
+                f"request lands on its primary shard {shard}",
+            )
+        status, body = http("GET", f"{url}/readyz")
+        expect(status == 200, "router ready with both shards up")
+
+        # Slow shard: SIGSTOP shard 0; its requests time out and fail over.
+        os.kill(shard_a.pid, signal.SIGSTOP)
+        try:
+            status, body = http(
+                "POST", f"{url}/analyze", {"id": "slow", "taskset": by_shard[0]}
+            )
+            expect(
+                status == 200 and body["status"] == "ok" and body["shard"] == 1,
+                "request to the SIGSTOPped shard fails over (timeout path)",
+            )
+        finally:
+            os.kill(shard_a.pid, signal.SIGCONT)
+
+        # Dead shard: SIGKILL shard 1; its requests fail over to shard 0.
+        shard_b.kill()
+        shard_b.wait(timeout=30)
+        status, body = http(
+            "POST", f"{url}/analyze", {"id": "dead", "taskset": by_shard[1]}
+        )
+        expect(
+            status == 200 and body["status"] == "ok" and body["shard"] == 0,
+            "request to the SIGKILLed shard fails over (dead path)",
+        )
+        status, body = http("GET", f"{url}/readyz")
+        expect(status == 200, "router stays ready with one shard down")
+        _status, stats = http("GET", f"{url}/stats")
+        expect(
+            stats["router"]["failovers"] >= 2 and stats["router"]["retries"] >= 2,
+            f"router counted its retries and failovers ({stats['router']})",
+        )
+
+        # Total loss: kill the last shard; the router degrades typed.
+        shard_a.kill()
+        shard_a.wait(timeout=30)
+        status, body = http(
+            "POST", f"{url}/analyze", {"id": "nobody", "taskset": by_shard[0]}
+        )
+        expect(
+            status == 503 and body["status"] == "no-shards",
+            "router returns a typed 503 with every shard down",
+        )
+        deadline = time.monotonic() + 10
+        ready = 200
+        while time.monotonic() < deadline and ready == 200:
+            ready, _body = http("GET", f"{url}/readyz")
+            time.sleep(0.2)
+        expect(ready == 503, "router /readyz flips to 503 once the poller notices")
+    finally:
+        for process in (*shards, router):
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=10)
+
+
+def main():
+    workdir = pathlib.Path("/tmp") / f"repro-chaos-{os.getpid()}"
+    shutil.rmtree(workdir, ignore_errors=True)
+    workdir.mkdir(parents=True)
+    cache_dir = workdir / "cache"
+    try:
+        committed_envelope, committed_body = cache_oracle_scenario(cache_dir)
+        victim_body = kill_mid_write_scenario(
+            cache_dir, committed_envelope, committed_body
+        )
+        victim_envelope = envelope_for(seed=22)
+        corruption_scenario(
+            cache_dir,
+            [(committed_envelope, committed_body), (victim_envelope, victim_body)],
+        )
+        coalesce_scenario(cache_dir)
+        router_scenario(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print("chaos-smoke: all scenarios passed", flush=True)
+
+
+if __name__ == "__main__":
+    main()

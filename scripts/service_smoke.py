@@ -9,11 +9,17 @@ guarantees ``docs/SERVICE.md`` promises (runnable locally and as the
    (cooperative spin) with a small deadline budget: the poisoned request
    must come back ``budget-exceeded`` and be quarantined while the healthy
    concurrent requests complete normally.
-2. **Circuit breaker** — repeated ``inject: crash`` requests kill their
+2. **Result cache** — an identical repeat request is served from the
+   persistent content-addressed cache bit-identically, and ``/stats``
+   reports the cache/coalescing counters.
+3. **Circuit breaker** — repeated ``inject: crash`` requests kill their
    workers until the breaker trips (503 + ``/readyz`` not ready); after
    the cool-down a healthy probe closes it again.
-3. **Graceful drain** — SIGTERM: ``/readyz`` flips to 503, in-flight work
+4. **Graceful drain** — SIGTERM: ``/readyz`` flips to 503, in-flight work
    finishes, and the daemon exits 0.
+
+The deeper fault-injection proofs (kill mid-write, corruption
+quarantine, shard failover) live in ``scripts/chaos_smoke.py``.
 
 Exits non-zero with a diagnostic on the first violated expectation.
 """
@@ -24,9 +30,11 @@ import json
 import os
 import pathlib
 import random
+import shutil
 import signal
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 import urllib.error
@@ -63,7 +71,7 @@ def http(method, url, document=None, timeout=60):
         return error.code, json.loads(error.read())
 
 
-def start_daemon():
+def start_daemon(cache_dir=None):
     """Launch the daemon on an OS-picked port; returns (process, base URL)."""
     args = [
         sys.executable,
@@ -82,6 +90,8 @@ def start_daemon():
         "--drain-grace",
         "60",
     ]
+    if cache_dir is not None:
+        args += ["--cache-dir", str(cache_dir)]
     print(f"$ {' '.join(args)}", flush=True)
     process = subprocess.Popen(
         args, cwd=ROOT, env=ENV, stdout=subprocess.PIPE,
@@ -128,12 +138,18 @@ def budget_scenario(url, envelope):
         )
     ]
     for index in range(3):
+        # Distinct task sets: identical concurrent requests would be
+        # coalesced onto one analysis (see cache_scenario), and this
+        # scenario wants three real computations racing the poisoned one.
         threads.append(
             threading.Thread(
                 target=submit,
                 args=(
                     f"healthy-{index}",
-                    {"id": f"healthy-{index}", "taskset": envelope},
+                    {
+                        "id": f"healthy-{index}",
+                        "taskset": taskset_envelope(seed=2 + index),
+                    },
                 ),
             )
         )
@@ -197,8 +213,11 @@ def breaker_scenario(url, envelope):
         "/readyz reports not-ready while the breaker is open",
     )
     time.sleep(2.5)  # cool-down (matches --breaker-reset 2)
+    # A *fresh* task set: a cached fingerprint would be served without
+    # touching the pool, and the half-open breaker only closes on a real
+    # computation's success.
     status, body = http(
-        "POST", f"{url}/analyze", {"id": "probe", "taskset": envelope}
+        "POST", f"{url}/analyze", {"id": "probe", "taskset": taskset_envelope(seed=7)}
     )
     expect(
         status == 200 and body["status"] == "ok",
@@ -210,15 +229,68 @@ def breaker_scenario(url, envelope):
     expect(stats["breaker"]["trips"] >= 1, "stats record the breaker trip")
 
 
+def cache_scenario(url, envelope):
+    """Repeat request hits the durable cache; /stats reports the counters."""
+    status, cold = http(
+        "POST", f"{url}/analyze", {"id": "cache-cold", "taskset": envelope}
+    )
+    expect(
+        status == 200 and cold["status"] == "ok",
+        "cacheable request completes",
+    )
+    status, warm = http(
+        "POST", f"{url}/analyze", {"id": "cache-warm", "taskset": envelope}
+    )
+    expect(
+        status == 200 and warm.get("cache") == "hit",
+        "identical repeat request is served from the result cache",
+    )
+    stripped = lambda body: {  # noqa: E731 — tiny local comparator
+        k: v for k, v in body.items() if k not in ("id", "cache")
+    }
+    expect(
+        stripped(cold) == stripped(warm),
+        "cache hit is bit-identical to the computed response",
+    )
+    _status, stats = http("GET", f"{url}/stats")
+    expect(
+        stats["perf"]["result_cache_hits"] >= 1,
+        "perf counters record the cache hit",
+    )
+    expect(
+        stats["perf"]["result_cache_stores"] >= 1,
+        "perf counters record the cache store",
+    )
+    expect(
+        "coalesced_requests" in stats["perf"],
+        "perf counters expose the coalescing counter",
+    )
+    cache = stats["cache"]
+    expect(
+        cache["enabled"] and cache["coalesce"],
+        "/stats reports the cache as enabled with coalescing on",
+    )
+    expect(
+        cache["entries"] >= 1 and cache["bytes"] > 0,
+        f"/stats exposes entry and byte totals ({cache['entries']} entries)",
+    )
+    expect(
+        cache.get("seeds", {}).get("entries", 0) >= 0,
+        "/stats exposes the warm-seed store",
+    )
+
+
 def drain_scenario(process, url, envelope):
     """SIGTERM with a request in flight: clean drain, exit 0."""
     result = {}
 
     def submit():
+        # Fresh task set so the request really occupies the pool (a cache
+        # hit would finish before the SIGTERM lands).
         result["inflight"] = http(
             "POST",
             f"{url}/analyze",
-            {"id": "inflight", "taskset": envelope},
+            {"id": "inflight", "taskset": taskset_envelope(seed=8)},
         )
 
     thread = threading.Thread(target=submit)
@@ -243,17 +315,20 @@ def drain_scenario(process, url, envelope):
 
 def main():
     envelope = taskset_envelope()
-    process, url = start_daemon()
+    cache_dir = tempfile.mkdtemp(prefix="repro-service-smoke-cache-")
+    process, url = start_daemon(cache_dir=cache_dir)
     try:
         status, body = http("GET", f"{url}/healthz")
         expect(status == 200 and body["status"] == "ok", "daemon is live")
         budget_scenario(url, envelope)
+        cache_scenario(url, envelope)
         breaker_scenario(url, envelope)
         drain_scenario(process, url, envelope)
     finally:
         if process.poll() is None:
             process.kill()
             process.communicate(timeout=10)
+        shutil.rmtree(cache_dir, ignore_errors=True)
     print("service-smoke: all scenarios passed", flush=True)
 
 

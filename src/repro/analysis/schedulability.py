@@ -25,9 +25,16 @@ from typing import Optional
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.wcrt import WarmHint, WcrtResult, analyze_taskset
 from repro.budget import Budget
+from repro.errors import ModelError
 from repro.perf import PerfCounters
 from repro.model.platform import BusPolicy, Platform
 from repro.model.task import TaskSet
+from repro.resultcache import (
+    ResultCache,
+    request_fingerprint,
+    result_from_payload,
+    result_payload,
+)
 
 
 @dataclass
@@ -40,6 +47,48 @@ class SchedulabilityVerdict:
     reason: str = ""
 
 
+def _analyze(
+    taskset: TaskSet,
+    platform: Platform,
+    config: AnalysisConfig,
+    perf: Optional[PerfCounters],
+    budget: Optional[Budget],
+    warm_hint: Optional[WarmHint],
+    result_cache: Optional[ResultCache],
+) -> WcrtResult:
+    """Run (or durably recall) one WCRT analysis.
+
+    With a ``result_cache`` the request is fingerprinted
+    (:func:`repro.resultcache.request_fingerprint`) and served from disk
+    when a valid entry exists — the rebuilt result is bit-identical to a
+    cold compute because the bounds are deterministic functions of the
+    fingerprinted triple.  Completed verdicts are written back; budget
+    aborts raise out of :func:`analyze_taskset` before the store, so
+    partials never land in the cache.
+    """
+    if result_cache is None:
+        return analyze_taskset(
+            taskset, platform, config, perf=perf, budget=budget,
+            warm_hint=warm_hint,
+        )
+    fingerprint = request_fingerprint(taskset, platform, config)
+    payload = result_cache.get(fingerprint, perf=perf)
+    if payload is not None:
+        try:
+            return result_from_payload(taskset, payload)
+        except ModelError:
+            # An entry that validated but does not line up with this task
+            # set (possible only under fingerprint collision or a foreign
+            # file renamed into place): drop it and recompute.
+            result_cache.invalidate(fingerprint)
+    result = analyze_taskset(
+        taskset, platform, config, perf=perf, budget=budget,
+        warm_hint=warm_hint,
+    )
+    result_cache.put(fingerprint, result_payload(result), perf=perf)
+    return result
+
+
 def check_schedulability(
     taskset: TaskSet,
     platform: Platform,
@@ -47,6 +96,7 @@ def check_schedulability(
     perf: Optional[PerfCounters] = None,
     budget: Optional[Budget] = None,
     warm_hint: Optional[WarmHint] = None,
+    result_cache: Optional[ResultCache] = None,
 ) -> SchedulabilityVerdict:
     """Full schedulability verdict with the underlying WCRT result.
 
@@ -59,7 +109,9 @@ def check_schedulability(
     ``budget`` threads a :class:`~repro.budget.Budget` through the WCRT
     analysis (see :mod:`repro.budget`); ``warm_hint`` offers an adjacent
     converged map to seed it (see
-    :class:`~repro.analysis.wcrt.WarmHint`).
+    :class:`~repro.analysis.wcrt.WarmHint`); ``result_cache`` consults a
+    persistent :class:`~repro.resultcache.ResultCache` before running the
+    WCRT iteration and stores completed verdicts back into it.
     """
     d_mem = platform.d_mem
 
@@ -81,9 +133,8 @@ def check_schedulability(
                 bus_utilization=bus_util,
                 reason="bus utilisation exceeds 1",
             )
-        result = analyze_taskset(
-            taskset, platform, config, perf=perf, budget=budget,
-            warm_hint=warm_hint,
+        result = _analyze(
+            taskset, platform, config, perf, budget, warm_hint, result_cache
         )
         return SchedulabilityVerdict(
             schedulable=result.schedulable,
@@ -92,8 +143,8 @@ def check_schedulability(
             reason="" if result.schedulable else "deadline miss (perfect bus)",
         )
 
-    result = analyze_taskset(
-        taskset, platform, config, perf=perf, budget=budget, warm_hint=warm_hint
+    result = _analyze(
+        taskset, platform, config, perf, budget, warm_hint, result_cache
     )
     if result.schedulable:
         return SchedulabilityVerdict(schedulable=True, wcrt=result)
@@ -112,8 +163,10 @@ def is_schedulable(
     perf: Optional[PerfCounters] = None,
     budget: Optional[Budget] = None,
     warm_hint: Optional[WarmHint] = None,
+    result_cache: Optional[ResultCache] = None,
 ) -> bool:
     """Boolean schedulability predicate used by the experiment sweeps."""
     return check_schedulability(
-        taskset, platform, config, perf=perf, budget=budget, warm_hint=warm_hint
+        taskset, platform, config, perf=perf, budget=budget,
+        warm_hint=warm_hint, result_cache=result_cache,
     ).schedulable

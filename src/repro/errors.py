@@ -103,6 +103,17 @@ class JournalError(ExecutionError):
     """A run journal is malformed or belongs to a different sweep."""
 
 
+class CacheError(ExecutionError):
+    """The persistent result cache was misused by a caller.
+
+    Raised only for programmer errors (malformed fingerprints, invalid
+    store configuration).  *Corrupt entries never raise*: the
+    corruption-tolerant loader of :mod:`repro.resultcache` quarantines
+    them and reports a miss, so on-disk damage degrades throughput, not
+    availability.
+    """
+
+
 class SweepInterrupted(ExecutionError):
     """The sweep was stopped by SIGINT/SIGTERM after flushing its journal.
 

@@ -79,6 +79,33 @@ class PerfCounters:
     #: Analyses aborted cooperatively by a budget or cancel token (see
     #: :mod:`repro.budget`) instead of running to a verdict.
     budget_aborts: int = 0
+    #: Requests served from the persistent content-addressed result cache
+    #: (:mod:`repro.resultcache`) without running any analysis.
+    result_cache_hits: int = 0
+    #: Cache lookups that found no (valid) entry, including entries
+    #: quarantined at read time.
+    result_cache_misses: int = 0
+    #: Completed results written into the persistent cache.
+    result_cache_stores: int = 0
+    #: Entries dropped by the LRU / byte-budget eviction policy.
+    result_cache_evictions: int = 0
+    #: Corrupt cache/seed files moved aside by the tolerant loader
+    #: (truncated JSON, checksum mismatches, empty files, foreign tags).
+    result_cache_quarantines: int = 0
+    #: Warm-start seeds loaded from the persisted seed store and offered
+    #: to an analysis (each is strictly re-verified before use).
+    warm_seed_hits: int = 0
+    #: Converged schedulable maps persisted into the warm-seed store.
+    warm_seed_stores: int = 0
+    #: Requests that joined an identical in-flight computation instead of
+    #: running their own analysis (see the service daemon's coalescing).
+    coalesced_requests: int = 0
+    #: Requests the shard router forwarded to a backend successfully.
+    router_forwards: int = 0
+    #: Forward attempts retried after a dead, not-ready or timed-out shard.
+    router_retries: int = 0
+    #: Requests that succeeded on a non-primary shard after failover.
+    router_failovers: int = 0
     verify_cases: int = 0
     verify_shrink_steps: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -184,6 +211,38 @@ class PerfCounters:
             )
         if self.budget_aborts:
             lines.append(f"  budget aborts     {self.budget_aborts:>12d}")
+        if (
+            self.result_cache_hits
+            or self.result_cache_misses
+            or self.result_cache_stores
+        ):
+            lookups = self.result_cache_hits + self.result_cache_misses
+            ratio = self.result_cache_hits / lookups if lookups else 0.0
+            lines.append(
+                f"  result cache      hits {self.result_cache_hits:>10d}   "
+                f"misses {self.result_cache_misses:>10d}   "
+                f"hit ratio {100 * ratio:5.1f}%"
+            )
+            lines.append(
+                f"  result cache      stores {self.result_cache_stores:>8d}   "
+                f"evictions {self.result_cache_evictions:>7d}   "
+                f"quarantines {self.result_cache_quarantines:>4d}"
+            )
+        if self.warm_seed_hits or self.warm_seed_stores:
+            lines.append(
+                f"  warm seeds        loads {self.warm_seed_hits:>9d}   "
+                f"stores {self.warm_seed_stores:>10d}"
+            )
+        if self.coalesced_requests:
+            lines.append(
+                f"  coalesced         {self.coalesced_requests:>12d}"
+            )
+        if self.router_forwards or self.router_retries:
+            lines.append(
+                f"  router forwards   {self.router_forwards:>12d}   "
+                f"retries {self.router_retries:>9d}   "
+                f"failovers {self.router_failovers:>7d}"
+            )
         if self.verify_cases:
             lines.append(
                 f"  verify cases      {self.verify_cases:>12d}   "

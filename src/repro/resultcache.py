@@ -1,0 +1,640 @@
+"""Persistent, content-addressed cache of analysis results.
+
+The WCRT bounds are *deterministic* functions of the analysed
+``(task set, platform, config)`` triple: every kernel variant
+(memoization, bitmasks, batching, warm starts) is pinned bit-identical by
+the differential oracles, and a completed budgeted run equals an
+uncapped one.  That determinism makes durable memoization sound — the
+same canonical-JSON fingerprinting the sweep journal relies on for
+bit-identical ``--resume`` (see :mod:`repro.experiments.journal`) keys a
+persistent result cache shared by the service daemon and the sweep
+runner:
+
+* :func:`request_fingerprint` hashes the canonical JSON of the task set,
+  the platform and the *outcome-determining* analysis knobs.  Invisible
+  optimisation knobs (``memoization``, ``bitset_kernel``,
+  ``array_kernel``, ``warm_start``) and iteration ceilings are excluded,
+  exactly as the journal excludes execution parameters: an entry computed
+  under any kernel serves every kernel.
+* :class:`ResultCache` stores one JSON file per fingerprint under
+  ``entries/``, written via :func:`repro.atomicio.atomic_write_text`
+  (tmp + fsync + rename) so a crash mid-write can never leave a partial
+  entry at the final path.  Every entry carries a SHA-256 checksum of its
+  payload; the loader *quarantines* (moves aside) and skips anything
+  corrupt — truncated JSON, flipped bits, empty files, foreign
+  fingerprints — instead of failing the daemon.  An in-memory LRU index
+  (seeded from file mtimes, refreshed via ``os.utime`` on hit so recency
+  survives restarts) enforces ``max_entries`` / ``max_bytes`` eviction.
+* :class:`WarmSeedStore` persists the converged response-time map of
+  schedulable results (keyed by task priority, the representation
+  :class:`~repro.analysis.wcrt.WarmHint` verifies strictly before
+  trusting), so a restarted daemon keeps the warm-start path: the first
+  recompute after a restart is seeded from disk and re-verified, never
+  blindly believed.
+
+Only completed results are cacheable.  ``budget-exceeded`` / ``cancelled``
+partials are *rejected at the store layer* (:meth:`ResultCache.put`
+refuses any payload whose status is not ``"ok"``), so an aborted request
+can never poison the cache — the caller-side discipline is backed by an
+enforced invariant.
+
+Fault injection (TEST ONLY): when the environment variable
+:data:`CHAOS_FAULT_ENV` is ``"kill-mid-write"``, the next store leaves a
+torn ``*.chaos.tmp`` dropping next to the target and kills the process —
+``scripts/chaos_smoke.py`` uses this to prove that a kill mid-write
+leaves a loadable cache (the committed entries are untouched and the
+dropping is swept on the next :meth:`~ResultCache.scan`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Union
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.wcrt import WarmHint, WcrtResult
+from repro.atomicio import atomic_write_text
+from repro.errors import CacheError, ModelError
+from repro.model.platform import Platform
+from repro.model.task import TaskSet
+from repro.perf import PerfCounters
+from repro.serialization import canonical_json, platform_to_dict, task_to_dict
+
+PathLike = Union[str, Path]
+
+#: Format tag of a result-cache entry file.
+CACHE_TAG = "repro-result-cache-entry"
+
+#: Format tag of a warm-seed entry file.
+SEED_TAG = "repro-warm-seed"
+
+#: Format tag of the fingerprinted request description.
+REQUEST_TAG = "repro-analysis-request"
+
+#: Current on-disk entry format version.
+CACHE_VERSION = 1
+
+#: Environment variable carrying the injectable chaos fault (TEST ONLY).
+CHAOS_FAULT_ENV = "REPRO_CHAOS_FAULT"
+
+#: Exit status of the injected kill-mid-write fault (mirrors SIGKILL).
+CHAOS_KILL_STATUS = 137
+
+#: AnalysisConfig fields that determine analysis *outcomes*.  The
+#: invisible-optimisation knobs and the iteration ceilings are excluded
+#: from fingerprints — see the module docstring.
+FINGERPRINT_CONFIG_FIELDS = (
+    "persistence",
+    "persistence_in_low",
+    "tdma_slot_alignment",
+    "crpd_approach",
+    "cpro_approach",
+)
+
+_FINGERPRINT_RE = re.compile(r"[0-9a-f]{64}")
+
+#: How many leading hex digits fan entries out into subdirectories.
+_FANOUT_DIGITS = 2
+
+
+# -- fingerprinting -----------------------------------------------------------
+
+
+def request_description(
+    taskset: TaskSet, platform: Platform, config: AnalysisConfig
+) -> Dict:
+    """The plain-JSON document a request fingerprint is computed over."""
+    return {
+        "format": REQUEST_TAG,
+        "version": CACHE_VERSION,
+        "platform": platform_to_dict(platform),
+        "tasks": [task_to_dict(task) for task in taskset],
+        "config": {
+            name: getattr(
+                getattr(config, name), "value", getattr(config, name)
+            )
+            for name in FINGERPRINT_CONFIG_FIELDS
+        },
+    }
+
+
+def request_fingerprint(
+    taskset: TaskSet, platform: Platform, config: AnalysisConfig
+) -> str:
+    """Hex SHA-256 identifying one analysis request's outcome.
+
+    Two requests share a fingerprint exactly when the analysis bounds are
+    guaranteed bit-identical, so a cached result may serve either.
+    """
+    text = canonical_json(request_description(taskset, platform, config))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- payload conversion -------------------------------------------------------
+
+
+def result_payload(result: WcrtResult) -> Dict:
+    """The cacheable plain-JSON form of a completed analysis result.
+
+    This is exactly the service's ``"ok"`` response body minus the
+    caller-chosen ``id`` (see :func:`repro.service.protocol.ok_response`,
+    which builds on this function), so entries written by the sweep
+    runner serve service requests byte-for-byte and vice versa.
+    """
+    return {
+        "version": CACHE_VERSION,
+        "status": "ok",
+        "schedulable": result.schedulable,
+        "outer_iterations": result.outer_iterations,
+        "failed_task": result.failed_task.name if result.failed_task else None,
+        "response_times": {
+            task.name: bound for task, bound in result.response_times.items()
+        },
+    }
+
+
+def result_from_payload(taskset: TaskSet, payload: Dict) -> WcrtResult:
+    """Rebuild a :class:`~repro.analysis.wcrt.WcrtResult` from a payload.
+
+    Task objects are resolved by name against ``taskset`` (names are
+    unique within a serialised task set, and the fingerprint guarantees
+    the entry was computed for this exact task set).  Raises
+    :class:`~repro.errors.ModelError` on any mismatch so callers can fall
+    back to a recompute.
+    """
+    tasks = {task.name: task for task in taskset}
+    try:
+        response_times = {
+            tasks[name]: int(bound)
+            for name, bound in payload["response_times"].items()
+        }
+        failed_name = payload["failed_task"]
+        return WcrtResult(
+            schedulable=bool(payload["schedulable"]),
+            response_times=response_times,
+            failed_task=tasks[failed_name] if failed_name else None,
+            outer_iterations=int(payload["outer_iterations"]),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise ModelError(
+            f"cached payload does not match the task set: {error!r}"
+        ) from error
+
+
+def seed_payload(result: WcrtResult) -> Optional[Dict]:
+    """Warm-seed payload of a *schedulable* result (else ``None``).
+
+    Response times are keyed by task priority — the representation
+    :class:`~repro.analysis.wcrt.WarmHint` carries — because priorities
+    are unique per task set and survive task-object identity changes.
+    Unschedulable maps are never stored: they are partially-refined, not
+    converged, and could never pass the hint's strict ``f(r) == r``
+    verification.
+    """
+    if not result.schedulable:
+        return None
+    return {
+        "response_times": {
+            str(task.priority): int(bound)
+            for task, bound in result.response_times.items()
+        },
+        "outer_iterations": int(result.outer_iterations),
+    }
+
+
+def seed_payload_from_response(taskset: TaskSet, body: Dict) -> Optional[Dict]:
+    """Warm-seed payload from a service ``"ok"`` response body.
+
+    The body keys response times by task *name*; ``taskset`` (the parsed
+    request) supplies the name-to-priority mapping.  Returns ``None`` for
+    unschedulable verdicts or any body that does not line up with the
+    task set.
+    """
+    if not body.get("schedulable"):
+        return None
+    response_times = body.get("response_times")
+    if not isinstance(response_times, dict):
+        return None
+    try:
+        return {
+            "response_times": {
+                str(task.priority): int(response_times[task.name])
+                for task in taskset
+            },
+            "outer_iterations": int(body.get("outer_iterations", 0)),
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def hint_from_seed(payload: Dict) -> WarmHint:
+    """Build the :class:`~repro.analysis.wcrt.WarmHint` of a stored seed.
+
+    The hint is *offered*, never trusted: the analysis re-verifies it
+    with one strict outer round and falls back to a cold run on any
+    mismatch, so a stale or corrupt seed can cost at most one wasted
+    round.  Raises :class:`~repro.errors.ModelError` on malformed seeds.
+    """
+    try:
+        return WarmHint(
+            response_times={
+                int(priority): int(bound)
+                for priority, bound in payload["response_times"].items()
+            },
+            outer_iterations=int(payload.get("outer_iterations", 0)),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise ModelError(f"malformed warm seed: {error!r}") from error
+
+
+# -- fault injection (TEST ONLY) ----------------------------------------------
+
+
+def _chaos_kill_mid_write(path: Path, text: str) -> None:
+    """Injected crash: leave a torn tmp dropping, then die like SIGKILL.
+
+    TEST ONLY — armed by ``CHAOS_FAULT_ENV=kill-mid-write``.  The torn
+    file deliberately uses the ``.tmp`` suffix the scanner sweeps, and
+    the *committed* entry path is never touched, mirroring exactly what a
+    real kill between ``write`` and ``os.replace`` leaves behind.
+    """
+    if os.environ.get(CHAOS_FAULT_ENV) != "kill-mid-write":
+        return
+    dropping = path.with_name(path.name + ".chaos.tmp")
+    dropping.parent.mkdir(parents=True, exist_ok=True)
+    with open(dropping, "w", encoding="utf-8") as handle:
+        handle.write(text[: max(1, len(text) // 2)])
+    os._exit(CHAOS_KILL_STATUS)
+
+
+class _BadEntry(Exception):
+    """Internal: an entry file failed validation (reason in ``args[0]``)."""
+
+
+@dataclass
+class _IndexEntry:
+    path: Path
+    size: int
+
+
+class _JsonStore:
+    """Shared machinery of the checksummed, quarantining JSON stores.
+
+    Thread-safe (one re-entrant lock per store).  Multiple *processes*
+    may safely share a store directory: every write is atomic, identical
+    fingerprints produce identical bytes, and readers treat a file that
+    vanished under them (evicted by a sibling) as a plain miss.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        tag: str,
+        counters: Dict[str, str],
+        max_entries: int = 4096,
+        max_bytes: Optional[int] = None,
+        perf: Optional[PerfCounters] = None,
+        validate_payload: Optional[Callable[[Dict], bool]] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise CacheError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise CacheError(
+                f"max_bytes must be >= 1 (or None for unbounded), "
+                f"got {max_bytes}"
+            )
+        self.root = Path(root)
+        self.tag = tag
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.entries_dir = self.root / "entries"
+        self.quarantine_dir = self.root / "quarantine"
+        self._counters = counters
+        self._perf = perf
+        self._validate_payload = validate_payload
+        self._lock = threading.RLock()
+        #: fingerprint -> entry, ordered least- to most-recently used.
+        self._index: "OrderedDict[str, _IndexEntry]" = OrderedDict()
+        #: Files quarantined since this store was opened.
+        self.quarantined_files = 0
+        self.scan()
+
+    # -- counters ------------------------------------------------------------
+
+    def _count(self, event: str, perf: Optional[PerfCounters] = None) -> None:
+        name = self._counters.get(event)
+        if name is None:
+            return
+        targets = []
+        if self._perf is not None:
+            targets.append(self._perf)
+        if perf is not None and perf is not self._perf:
+            targets.append(perf)
+        for target in targets:
+            setattr(target, name, getattr(target, name) + 1)
+
+    # -- layout --------------------------------------------------------------
+
+    def _path_for(self, fingerprint: str) -> Path:
+        return (
+            self.entries_dir
+            / fingerprint[:_FANOUT_DIGITS]
+            / f"{fingerprint}.json"
+        )
+
+    @staticmethod
+    def _check_fingerprint(fingerprint: str) -> str:
+        if not (
+            isinstance(fingerprint, str)
+            and _FINGERPRINT_RE.fullmatch(fingerprint)
+        ):
+            raise CacheError(
+                f"fingerprint must be 64 lowercase hex digits, "
+                f"got {fingerprint!r}"
+            )
+        return fingerprint
+
+    # -- scanning and validation ---------------------------------------------
+
+    def scan(self) -> None:
+        """(Re)build the index from disk, sweeping droppings and corruption.
+
+        Leftover ``*.tmp`` files (a kill between write and rename) are
+        deleted; every committed entry is fully validated and corrupt
+        ones are quarantined.  The LRU order is seeded from file mtimes,
+        which :meth:`get` refreshes on every hit, so recency survives
+        restarts.
+        """
+        with self._lock:
+            self._index.clear()
+            self.entries_dir.mkdir(parents=True, exist_ok=True)
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            found = []
+            for path in sorted(self.entries_dir.rglob("*")):
+                if not path.is_file():
+                    continue
+                if path.name.endswith(".tmp"):
+                    path.unlink(missing_ok=True)
+                    continue
+                try:
+                    fingerprint, _payload = self._load_file(path)
+                except _BadEntry as bad:
+                    self._quarantine(path, bad.args[0])
+                    continue
+                stat = path.stat()
+                found.append((stat.st_mtime, fingerprint, path, stat.st_size))
+            for _mtime, fingerprint, path, size in sorted(found):
+                self._index[fingerprint] = _IndexEntry(path=path, size=size)
+            self._evict_if_needed()
+
+    def _load_file(self, path: Path) -> tuple:
+        """Validate one entry file; raises :class:`_BadEntry` with a reason."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise _BadEntry(f"unreadable: {error}") from error
+        if not text.strip():
+            raise _BadEntry("empty-file")
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            raise _BadEntry("truncated-or-invalid-json") from None
+        if not isinstance(document, dict) or document.get("format") != self.tag:
+            raise _BadEntry("bad-envelope")
+        if document.get("version") != CACHE_VERSION:
+            raise _BadEntry("unsupported-version")
+        fingerprint = document.get("fingerprint")
+        if (
+            not isinstance(fingerprint, str)
+            or not _FINGERPRINT_RE.fullmatch(fingerprint)
+            or path.name != f"{fingerprint}.json"
+        ):
+            raise _BadEntry("fingerprint-mismatch")
+        payload = document.get("payload")
+        if not isinstance(payload, dict):
+            raise _BadEntry("missing-payload")
+        digest = hashlib.sha256(
+            canonical_json(payload).encode("utf-8")
+        ).hexdigest()
+        if document.get("sha256") != digest:
+            raise _BadEntry("checksum-mismatch")
+        if self._validate_payload is not None and not self._validate_payload(
+            payload
+        ):
+            raise _BadEntry("invalid-payload")
+        return fingerprint, payload
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt file aside (never delete evidence) and count it."""
+        destination = self.quarantine_dir / f"{path.name}.{reason}"
+        try:
+            os.replace(path, destination)
+        except OSError:
+            path.unlink(missing_ok=True)
+        self.quarantined_files += 1
+        self._count("quarantine")
+
+    # -- the cache interface -------------------------------------------------
+
+    def get(
+        self, fingerprint: str, perf: Optional[PerfCounters] = None
+    ) -> Optional[Dict]:
+        """Payload stored for ``fingerprint``, or ``None``.
+
+        Reads the entry file afresh on every hit (so callers may mutate
+        the returned document freely) and re-validates it — corruption
+        that happened *after* the scan is quarantined here, reported as a
+        miss, and never crashes the caller.
+        """
+        self._check_fingerprint(fingerprint)
+        with self._lock:
+            entry = self._index.get(fingerprint)
+            if entry is None:
+                self._count("miss", perf)
+                return None
+            try:
+                _fingerprint, payload = self._load_file(entry.path)
+            except _BadEntry as bad:
+                self._index.pop(fingerprint, None)
+                self._quarantine(entry.path, bad.args[0])
+                self._count("miss", perf)
+                return None
+            self._index.move_to_end(fingerprint)
+            try:
+                os.utime(entry.path)
+            except OSError:
+                pass  # recency refresh is best-effort
+            self._count("hit", perf)
+            return payload
+
+    def put(
+        self,
+        fingerprint: str,
+        payload: Dict,
+        perf: Optional[PerfCounters] = None,
+    ) -> bool:
+        """Store ``payload`` under ``fingerprint``; ``False`` if refused.
+
+        Refusal (rather than an exception) is the contract for payloads
+        the store's validator rejects — e.g. a ``budget-exceeded``
+        partial offered to a :class:`ResultCache` — so callers cannot
+        poison the cache even by mistake.
+        """
+        self._check_fingerprint(fingerprint)
+        if self._validate_payload is not None and not self._validate_payload(
+            payload
+        ):
+            return False
+        entry = {
+            "format": self.tag,
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "payload": payload,
+            "sha256": hashlib.sha256(
+                canonical_json(payload).encode("utf-8")
+            ).hexdigest(),
+        }
+        text = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            path = self._path_for(fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _chaos_kill_mid_write(path, text)
+            atomic_write_text(path, text)
+            self._index[fingerprint] = _IndexEntry(
+                path=path, size=len(text.encode("utf-8"))
+            )
+            self._index.move_to_end(fingerprint)
+            self._count("store", perf)
+            self._evict_if_needed(perf)
+        return True
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry by fingerprint; ``True`` if it existed."""
+        self._check_fingerprint(fingerprint)
+        with self._lock:
+            entry = self._index.pop(fingerprint, None)
+            path = entry.path if entry is not None else self._path_for(fingerprint)
+            existed = path.exists()
+            path.unlink(missing_ok=True)
+            return existed or entry is not None
+
+    def _evict_if_needed(self, perf: Optional[PerfCounters] = None) -> None:
+        while len(self._index) > self.max_entries or (
+            self.max_bytes is not None
+            and sum(entry.size for entry in self._index.values())
+            > self.max_bytes
+            and len(self._index) > 1
+        ):
+            _fingerprint, entry = self._index.popitem(last=False)
+            entry.path.unlink(missing_ok=True)
+            self._count("evict", perf)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._index
+
+    def fingerprints(self) -> Iterable[str]:
+        with self._lock:
+            return tuple(self._index)
+
+    def stats(self) -> Dict:
+        """Entry count, byte total and session quarantine count."""
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "bytes": sum(entry.size for entry in self._index.values()),
+                "quarantined_files": self.quarantined_files,
+                "root": str(self.root),
+            }
+
+
+def _ok_payload(payload: Dict) -> bool:
+    """Cacheability predicate: only completed ``"ok"`` results qualify."""
+    return isinstance(payload, dict) and payload.get("status") == "ok"
+
+
+def _seed_shape(payload: Dict) -> bool:
+    return isinstance(payload, dict) and isinstance(
+        payload.get("response_times"), dict
+    )
+
+
+class ResultCache(_JsonStore):
+    """Content-addressed, crash-safe store of completed analysis results.
+
+    Layout under ``root``::
+
+        entries/<fp[:2]>/<fp>.json   one checksummed entry per fingerprint
+        quarantine/                  corrupt files moved aside, never deleted
+
+    ``put`` refuses any payload whose ``status`` is not ``"ok"`` — see the
+    module docstring for why aborted partials must never land here.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        max_entries: int = 4096,
+        max_bytes: Optional[int] = None,
+        perf: Optional[PerfCounters] = None,
+    ) -> None:
+        super().__init__(
+            root,
+            tag=CACHE_TAG,
+            counters={
+                "hit": "result_cache_hits",
+                "miss": "result_cache_misses",
+                "store": "result_cache_stores",
+                "evict": "result_cache_evictions",
+                "quarantine": "result_cache_quarantines",
+            },
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+            perf=perf,
+            validate_payload=_ok_payload,
+        )
+
+
+class WarmSeedStore(_JsonStore):
+    """Persisted warm-start seeds keeping the warm path across restarts.
+
+    Stores the converged (strictly verifiable) response-time map of
+    schedulable results under the same request fingerprint as the result
+    cache.  Seeds are *hints*: the analysis re-verifies every one before
+    use, so this store can accelerate but never change a result.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        max_entries: int = 4096,
+        max_bytes: Optional[int] = None,
+        perf: Optional[PerfCounters] = None,
+    ) -> None:
+        super().__init__(
+            root,
+            tag=SEED_TAG,
+            counters={
+                "hit": "warm_seed_hits",
+                "store": "warm_seed_stores",
+                "evict": "result_cache_evictions",
+                "quarantine": "result_cache_quarantines",
+            },
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+            perf=perf,
+            validate_payload=_seed_shape,
+        )

@@ -14,9 +14,17 @@ failure mode the resilience layer knows about:
 * ``/healthz`` / ``/readyz`` / ``/stats`` endpoints wired to
   :class:`~repro.perf.PerfCounters`,
 * SIGTERM graceful drain that finishes or quarantines in-flight requests
-  before exiting 0.
+  before exiting 0,
+* an optional persistent content-addressed result cache with warm-start
+  seeds (:mod:`repro.resultcache`) and coalescing of identical
+  concurrent requests onto one computation,
+* a fingerprint-sharded, health-checked router
+  (``python -m repro.service.router``) that spreads requests across
+  several daemons and fails idempotent work over to surviving shards.
 
-See ``docs/SERVICE.md`` for the protocol and operational guide.
+See ``docs/SERVICE.md`` for the protocol and operational guide,
+``docs/CACHE.md`` for the durable cache and ``scripts/chaos_smoke.py``
+for the fault-injection proof of the crash-safety claims.
 """
 
 from repro.service.breaker import CircuitBreaker
@@ -28,6 +36,7 @@ from repro.service.protocol import (
     error_response,
     parse_request,
 )
+from repro.service.router import RouterConfig, ShardRouter, serve_router
 
 __all__ = [
     "AnalysisPool",
@@ -35,9 +44,12 @@ __all__ = [
     "AnalysisService",
     "CircuitBreaker",
     "PROTOCOL_VERSION",
+    "RouterConfig",
     "ServiceConfig",
+    "ShardRouter",
     "error_response",
     "parse_request",
     "serve",
+    "serve_router",
     "service_worker",
 ]

@@ -78,6 +78,31 @@ def _parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="how long a SIGTERM drain waits for in-flight requests",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="root of the persistent content-addressed result cache "
+        "(default: no durable caching)",
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=4096,
+        help="LRU entry cap of the result cache",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget of the result cache (default: unbounded)",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable coalescing of identical concurrent requests",
+    )
     return parser
 
 
@@ -94,6 +119,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_reset_seconds=args.breaker_reset,
             drain_grace_seconds=args.drain_grace,
+            cache_dir=args.cache_dir,
+            cache_max_entries=args.cache_max_entries,
+            cache_max_bytes=args.cache_max_bytes,
+            coalesce=not args.no_coalesce,
         )
     except AnalysisError as error:
         print(f"repro-service: error: {error}", file=sys.stderr)

@@ -41,6 +41,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
@@ -50,9 +51,23 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.perf import PerfCounters
+from repro.resultcache import (
+    ResultCache,
+    WarmSeedStore,
+    request_fingerprint,
+    seed_payload_from_response,
+)
 from repro.service.breaker import CircuitBreaker, OPEN
 from repro.service.pool import AnalysisPool
-from repro.service.protocol import error_response, parse_request
+from repro.service.protocol import (
+    AnalysisRequest,
+    error_response,
+    parse_request,
+)
+
+#: Extra wait a coalesced request grants the leading computation beyond
+#: the leader's own watchdog allowance before giving up.
+COALESCE_GRACE = 5.0
 
 
 @dataclass(frozen=True)
@@ -74,6 +89,15 @@ class ServiceConfig:
     breaker_probes: int = 1
     #: How long a SIGTERM drain waits for in-flight requests.
     drain_grace_seconds: float = 30.0
+    #: Root of the persistent content-addressed result cache
+    #: (:mod:`repro.resultcache`); ``None`` disables durable caching.
+    cache_dir: Optional[str] = None
+    #: LRU entry cap of the result cache (and of the warm-seed store).
+    cache_max_entries: int = 4096
+    #: Optional byte budget of the result cache (``None`` = unbounded).
+    cache_max_bytes: Optional[int] = None
+    #: Coalesce identical concurrent requests onto one computation.
+    coalesce: bool = True
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -109,6 +133,15 @@ class ServiceConfig:
                 f"drain_grace_seconds must be non-negative, "
                 f"got {self.drain_grace_seconds}"
             )
+        if self.cache_max_entries < 1:
+            raise AnalysisError(
+                f"cache_max_entries must be >= 1, got {self.cache_max_entries}"
+            )
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise AnalysisError(
+                f"cache_max_bytes must be >= 1 (or None for unbounded), "
+                f"got {self.cache_max_bytes}"
+            )
 
 
 @dataclass
@@ -131,8 +164,33 @@ class ServiceStats:
         return dict(self.__dict__)
 
 
+class _Flight:
+    """One in-flight computation identical concurrent requests share."""
+
+    __slots__ = ("done", "outcome")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.outcome: Optional[Tuple[int, Dict]] = None
+
+
 class AnalysisService:
-    """HTTP-agnostic service core: validation, admission, breaker, pool."""
+    """HTTP-agnostic service core: validation, admission, cache, breaker.
+
+    The request path is layered so every tier degrades independently:
+
+    1. **Durable cache** — deterministic requests are fingerprinted
+       (:func:`repro.resultcache.request_fingerprint`) and served from
+       the persistent :class:`~repro.resultcache.ResultCache` when
+       possible.  Hits bypass the breaker entirely: cached results stay
+       available even while the worker pool is tripped.
+    2. **Coalescing** — N identical concurrent requests run *one*
+       analysis; the others wait on the leader's flight and share its
+       outcome (including failures and budget aborts).
+    3. **Pool** — the leader runs through the circuit breaker and worker
+       pool as before.  Only completed ``"ok"`` results are written back
+       to the cache and the warm-seed store; aborted partials never are.
+    """
 
     def __init__(
         self,
@@ -151,9 +209,25 @@ class AnalysisService:
         )
         self.stats = ServiceStats()
         self.perf = PerfCounters()
+        self.cache: Optional[ResultCache] = None
+        self.seeds: Optional[WarmSeedStore] = None
+        if config.cache_dir is not None:
+            root = Path(config.cache_dir)
+            self.cache = ResultCache(
+                root,
+                max_entries=config.cache_max_entries,
+                max_bytes=config.cache_max_bytes,
+                perf=self.perf,
+            )
+            self.seeds = WarmSeedStore(
+                root / "seeds",
+                max_entries=config.cache_max_entries,
+                perf=self.perf,
+            )
         self._lock = threading.Lock()
         self._tokens = itertools.count()
         self._active: Dict[int, str] = {}
+        self._flights: Dict[str, _Flight] = {}
         self._draining = threading.Event()
         #: Requests that could not be completed normally: budget aborts,
         #: watchdog kills and drain stragglers, with their reasons.
@@ -201,25 +275,133 @@ class AnalysisService:
             self._active[token] = request.request_id
             self.stats.accepted += 1
         try:
-            if not self.breaker.allow():
-                with self._lock:
-                    self.stats.rejected_breaker += 1
-                return 503, {
-                    "status": "breaker-open",
-                    "id": request.request_id,
-                    "message": (
-                        "worker pool circuit breaker is open after repeated "
-                        "crashes; retry after the cool-down"
-                    ),
-                    "retry_after": self.breaker.reset_seconds,
-                }
-            return self._execute(request.request_id, effective)
+            return self._execute(request, effective)
         finally:
             with self._lock:
                 self._active.pop(token, None)
 
-    def _execute(self, request_id: str, document: Dict) -> Tuple[int, Dict]:
-        """Run one admitted request through the pool and classify it."""
+    def _execute(self, request: AnalysisRequest, document: Dict) -> Tuple[int, Dict]:
+        """Cache, coalesce and run one admitted request."""
+        request_id = request.request_id
+        fingerprint = None
+        if request.inject is None and (
+            self.cache is not None or self.config.coalesce
+        ):
+            # Deterministic requests only: the test-only inject faults are
+            # the one nondeterministic input and must never share work.
+            fingerprint = request_fingerprint(
+                request.taskset, request.platform, request.config
+            )
+        if fingerprint is not None and self.cache is not None:
+            payload = self.cache.get(fingerprint)
+            if payload is not None:
+                # Served without touching the breaker: cached results stay
+                # available even while the worker pool is tripped open.
+                with self._lock:
+                    self.stats.completed += 1
+                return 200, dict(payload, id=request_id, cache="hit")
+        flight: Optional[_Flight] = None
+        if fingerprint is not None and self.config.coalesce:
+            with self._lock:
+                flight = self._flights.get(fingerprint)
+                if flight is not None:
+                    leader_flight = None
+                else:
+                    leader_flight = self._flights[fingerprint] = _Flight()
+            if leader_flight is None:
+                return self._await_flight(request_id, document, flight)
+            flight = leader_flight
+        if (
+            fingerprint is not None
+            and self.seeds is not None
+            and request.config.warm_start
+        ):
+            seed = self.seeds.get(fingerprint)
+            if seed is not None:
+                document = dict(document, warm_seed=seed)
+        status = 500
+        body: Dict = error_response(
+            request_id,
+            WorkerCrashError("computation died before producing a response"),
+        )
+        try:
+            status, body = self._run_pool(request_id, document)
+            return status, body
+        finally:
+            if flight is not None:
+                with self._lock:
+                    self._flights.pop(fingerprint, None)
+                flight.outcome = (status, body)
+                flight.done.set()
+            if (
+                fingerprint is not None
+                and status == 200
+                and body.get("status") == "ok"
+            ):
+                # Only completed results are durable; the store's own
+                # validator additionally refuses anything else, so aborted
+                # partials can never poison the cache.
+                if self.cache is not None:
+                    payload = {
+                        key: value
+                        for key, value in body.items()
+                        if key not in ("id", "cache")
+                    }
+                    self.cache.put(fingerprint, payload)
+                if self.seeds is not None:
+                    seed = seed_payload_from_response(request.taskset, body)
+                    if seed is not None:
+                        self.seeds.put(fingerprint, seed)
+
+    def _await_flight(
+        self, request_id: str, document: Dict, flight: _Flight
+    ) -> Tuple[int, Dict]:
+        """Share the outcome of an identical in-flight computation."""
+        allowance = self.pool.allowance_for(document.get("budget_seconds"))
+        timeout = None if allowance is None else allowance + COALESCE_GRACE
+        if not flight.done.wait(timeout):
+            with self._lock:
+                self.stats.analysis_errors += 1
+            return 500, error_response(
+                request_id,
+                ChunkTimeoutError(
+                    "coalesced request timed out waiting for the identical "
+                    "in-flight computation"
+                ),
+            )
+        status, shared = flight.outcome
+        body = dict(shared, id=request_id, cache="coalesced")
+        outcome = body.get("status")
+        with self._lock:
+            self.perf.coalesced_requests += 1
+            if outcome == "ok":
+                self.stats.completed += 1
+            elif outcome == "budget-exceeded":
+                self.stats.budget_aborted += 1
+            elif outcome == "cancelled":
+                self.stats.cancelled += 1
+            elif outcome == "breaker-open":
+                self.stats.rejected_breaker += 1
+            else:
+                self.stats.analysis_errors += 1
+        if outcome in ("budget-exceeded", "cancelled"):
+            self._quarantine(request_id, outcome)
+        return status, body
+
+    def _run_pool(self, request_id: str, document: Dict) -> Tuple[int, Dict]:
+        """Run one leading request through the breaker and pool."""
+        if not self.breaker.allow():
+            with self._lock:
+                self.stats.rejected_breaker += 1
+            return 503, {
+                "status": "breaker-open",
+                "id": request_id,
+                "message": (
+                    "worker pool circuit breaker is open after repeated "
+                    "crashes; retry after the cool-down"
+                ),
+                "retry_after": self.breaker.reset_seconds,
+            }
         try:
             response, perf = self.pool.run(document)
         except WorkerCrashError as error:
@@ -289,12 +471,21 @@ class AnalysisService:
         return 200, {"status": "ready"}
 
     def stats_document(self) -> Dict:
-        """The ``/stats`` body: counters, breaker, quarantine, perf."""
+        """The ``/stats`` body: counters, breaker, cache, quarantine, perf."""
         with self._lock:
             perf = {
                 name: getattr(self.perf, name)
                 for name in PerfCounters._INT_FIELDS
             }
+            cache = {
+                "enabled": self.cache is not None,
+                "coalesce": self.config.coalesce,
+                "coalescing_flights": len(self._flights),
+            }
+            if self.cache is not None:
+                cache.update(self.cache.stats())
+            if self.seeds is not None:
+                cache["seeds"] = self.seeds.stats()
             return {
                 "requests": self.stats.to_dict(),
                 "in_flight": len(self._active),
@@ -303,6 +494,7 @@ class AnalysisService:
                     "state": self.breaker.state,
                     "trips": self.breaker.trips,
                 },
+                "cache": cache,
                 "quarantined": list(self.quarantined),
                 "perf": perf,
             }

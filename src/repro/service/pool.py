@@ -30,10 +30,11 @@ from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Dict, Optional, Tuple
 
-from repro.analysis.wcrt import analyze_taskset
+from repro.analysis.wcrt import WarmHint, analyze_taskset
 from repro.budget import Budget
 from repro.errors import AnalysisAborted, ChunkTimeoutError, WorkerCrashError
 from repro.perf import PerfCounters
+from repro.resultcache import hint_from_seed
 from repro.service.protocol import (
     abort_response,
     error_response,
@@ -86,12 +87,25 @@ def service_worker(document: Dict) -> Tuple[Dict, PerfCounters]:
             while True:
                 if budget is not None:
                     budget.tick()
+        # The daemon may attach a persisted warm-start seed (see
+        # repro.resultcache.WarmSeedStore).  It is only ever a *hint*:
+        # the analysis re-verifies it strictly and falls back to a cold
+        # run on any mismatch, so a malformed or stale seed is dropped
+        # here rather than failing the request.
+        warm_hint: Optional[WarmHint] = None
+        seed = document.get("warm_seed")
+        if seed is not None and request.config.warm_start:
+            try:
+                warm_hint = hint_from_seed(seed)
+            except Exception:  # noqa: BLE001 — seeds must never hurt
+                warm_hint = None
         result = analyze_taskset(
             request.taskset,
             request.platform,
             request.config,
             perf=perf,
             budget=budget,
+            warm_hint=warm_hint,
         )
     except AnalysisAborted as abort:
         return abort_response(request.request_id, abort), perf

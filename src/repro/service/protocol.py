@@ -41,6 +41,7 @@ from repro.errors import AnalysisAborted, AnalysisError, Cancelled, ModelError
 from repro.model.platform import Platform
 from repro.model.task import TaskSet
 from repro.persistence.cpro import CproApproach
+from repro.resultcache import result_payload
 from repro.serialization import (
     FORMAT_VERSION,
     platform_from_dict,
@@ -186,18 +187,14 @@ def parse_request(document) -> AnalysisRequest:
 
 
 def ok_response(request_id: str, result) -> Dict:
-    """Success response carrying the WCRT verdict."""
-    return {
-        "version": PROTOCOL_VERSION,
-        "id": request_id,
-        "status": "ok",
-        "schedulable": result.schedulable,
-        "outer_iterations": result.outer_iterations,
-        "failed_task": result.failed_task.name if result.failed_task else None,
-        "response_times": {
-            task.name: bound for task, bound in result.response_times.items()
-        },
-    }
+    """Success response carrying the WCRT verdict.
+
+    Built on :func:`repro.resultcache.result_payload` so the body (minus
+    the caller-chosen ``id``) is byte-identical to what the persistent
+    result cache stores — a cache hit and a cold compute therefore
+    differ only in ``id`` and the ``cache`` marker.
+    """
+    return dict(result_payload(result), id=request_id)
 
 
 def abort_response(request_id: str, abort: AnalysisAborted) -> Dict:

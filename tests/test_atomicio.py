@@ -52,6 +52,29 @@ class TestAtomicWrite:
         atomic_write_text(target, "done")
         assert os.listdir(tmp_path) == ["out.txt"]
 
+    def test_fsync_failure_before_rename_leaves_target_intact(self, tmp_path):
+        # A write that dies *before* the rename barrier (fsync error, disk
+        # pulled) must behave like the crash the result cache's chaos
+        # harness injects: old contents stay, the tmp file is removed.
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with mock.patch("os.fsync", side_effect=OSError("I/O error")):
+            with pytest.raises(OSError):
+                atomic_write_text(target, "half-")
+        assert target.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_interrupt_mid_write_leaves_target_intact(self, tmp_path):
+        # BaseException (KeyboardInterrupt, SystemExit) takes the same
+        # cleanup path as OSError — a Ctrl-C'd sweep leaves no droppings.
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with mock.patch("os.fsync", side_effect=KeyboardInterrupt):
+            with pytest.raises(KeyboardInterrupt):
+                atomic_write_text(target, "half-")
+        assert target.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
 
 class TestSaveTasksetIsAtomic:
     def test_round_trip_still_exact(self, tmp_path):

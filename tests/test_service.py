@@ -225,6 +225,11 @@ class StubPool:
             return service_worker(document)
         return outcome
 
+    def allowance_for(self, budget_seconds):
+        # Coalesced waiters derive their wait from the leader's watchdog
+        # allowance; the stub has no watchdog, so waiters wait forever.
+        return None
+
     def close(self):
         self.closed = True
 
@@ -247,6 +252,12 @@ class TestServiceConfig:
             ServiceConfig(default_budget=-2.0)
         with pytest.raises(AnalysisError):
             ServiceConfig(breaker_reset_seconds=0)
+
+    def test_rejects_invalid_cache_knobs(self):
+        with pytest.raises(AnalysisError):
+            ServiceConfig(cache_max_entries=0)
+        with pytest.raises(AnalysisError):
+            ServiceConfig(cache_max_bytes=0)
 
 
 class TestServiceHandle:
@@ -362,6 +373,234 @@ class TestServiceHandle:
         assert document["breaker"]["state"] == CLOSED
         assert document["perf"]["analyses"] == 1
         json.dumps(document)  # must be wire-serialisable as-is
+
+
+class TestResultCacheIntegration:
+    """The durable-cache tier of the request path."""
+
+    def make_cached_service(self, tmp_path, pool=None, **config):
+        return make_service(pool=pool, cache_dir=str(tmp_path), **config)
+
+    def test_identical_repeat_is_a_hit_with_its_own_id(self, tmp_path, envelope):
+        pool = StubPool()
+        service = self.make_cached_service(tmp_path, pool=pool)
+        status, cold = service.handle(request_document(envelope))
+        assert status == 200 and cold["status"] == "ok"
+        status, warm = service.handle(request_document(envelope, id="req-2"))
+        assert status == 200
+        assert warm["cache"] == "hit"
+        assert warm["id"] == "req-2"  # the hit answers *this* request
+        assert pool.calls == 1  # no second computation
+        stripped = lambda body: {  # noqa: E731 — tiny local comparator
+            k: v for k, v in body.items() if k not in ("id", "cache")
+        }
+        assert stripped(cold) == stripped(warm)
+        assert service.stats.completed == 2
+        assert service.perf.result_cache_hits == 1
+        assert service.perf.result_cache_stores == 1
+
+    def test_entries_survive_a_service_restart(self, tmp_path, envelope):
+        service = self.make_cached_service(tmp_path)
+        service.handle(request_document(envelope))
+        reborn_pool = StubPool()
+        reborn = self.make_cached_service(tmp_path, pool=reborn_pool)
+        status, body = reborn.handle(request_document(envelope))
+        assert status == 200 and body["cache"] == "hit"
+        assert reborn_pool.calls == 0
+
+    def test_budget_abort_is_never_cached(self, tmp_path, envelope):
+        # Satellite regression: a partial verdict must not poison the
+        # durable cache for the identical future request.
+        pool = StubPool()
+        service = self.make_cached_service(tmp_path, pool=pool)
+        status, body = service.handle(
+            request_document(envelope, max_iterations=2)
+        )
+        assert status == 200 and body["status"] == "budget-exceeded"
+        assert len(service.cache) == 0
+        # The identical request without the ceiling computes and stores
+        # (iteration ceilings are excluded from the fingerprint)...
+        status, full = service.handle(request_document(envelope))
+        assert status == 200 and full["status"] == "ok"
+        assert "cache" not in full
+        assert pool.calls == 2
+        assert len(service.cache) == 1
+        # ...and only then do repeats hit.
+        status, warm = service.handle(request_document(envelope))
+        assert warm["cache"] == "hit"
+        assert pool.calls == 2
+
+    def test_inject_requests_bypass_the_cache(self, tmp_path, envelope):
+        ok_body = {
+            "version": PROTOCOL_VERSION,
+            "id": "req-1",
+            "status": "ok",
+            "schedulable": True,
+            "outer_iterations": 1,
+            "response_times": {},
+        }
+        pool = StubPool((ok_body, PerfCounters()))
+        service = self.make_cached_service(tmp_path, pool=pool)
+        for _ in range(2):
+            status, body = service.handle(
+                request_document(envelope, inject="crash")
+            )
+            assert status == 200 and "cache" not in body
+        assert pool.calls == 2  # never coalesced, never served from disk
+        assert len(service.cache) == 0  # and never stored
+
+    def test_hits_bypass_an_open_breaker(self, tmp_path, envelope):
+        service = self.make_cached_service(tmp_path, breaker_threshold=1)
+        service.handle(request_document(envelope))
+        service.breaker.record_failure()
+        assert service.breaker.state == OPEN
+        # An uncached request is refused by the tripped breaker...
+        platform = default_platform()
+        fresh = json.loads(
+            taskset_to_json(
+                generate_taskset(random.Random(6), platform, 0.3), platform
+            )
+        )
+        status, body = service.handle(request_document(fresh, id="fresh"))
+        assert (status, body["status"]) == (503, "breaker-open")
+        # ...while the cached fingerprint is still served.
+        status, body = service.handle(request_document(envelope, id="warm"))
+        assert status == 200 and body["cache"] == "hit"
+
+    def test_completed_results_seed_the_warm_start_store(
+        self, tmp_path, envelope
+    ):
+        seen = {}
+
+        def spy(document):
+            seen.clear()
+            seen.update(document)
+            return service_worker(document)
+
+        service = self.make_cached_service(tmp_path, pool=StubPool(spy))
+        service.handle(request_document(envelope))
+        assert "warm_seed" not in seen  # nothing to offer on the first run
+        assert len(service.seeds) >= 0
+        fingerprint = next(iter(service.cache.fingerprints()))
+        if service.seeds.get(fingerprint) is None:
+            pytest.skip("fixture task set must be schedulable to seed")
+        # Recompute the same fingerprint (cache entry dropped, seed kept):
+        # the pool document now carries the converged map as a seed.
+        service.cache.invalidate(fingerprint)
+        service.handle(request_document(envelope, id="re-run"))
+        assert "warm_seed" in seen
+        assert seen["warm_seed"]["response_times"]
+
+    def test_stats_document_reports_the_cache(self, tmp_path, envelope):
+        service = self.make_cached_service(tmp_path)
+        service.handle(request_document(envelope))
+        cache = service.stats_document()["cache"]
+        assert cache["enabled"] and cache["coalesce"]
+        assert cache["coalescing_flights"] == 0
+        assert cache["entries"] == 1 and cache["bytes"] > 0
+        assert "seeds" in cache
+        bare = make_service().stats_document()["cache"]
+        assert not bare["enabled"]
+        assert "entries" not in bare
+
+
+class TestCoalescing:
+    """The request-coalescing tier (works with or without the cache)."""
+
+    def run_pair(self, service, envelope, entered, release):
+        """Start a leader, then a waiter on the identical document."""
+        results = {}
+
+        def submit(name, request_id):
+            results[name] = service.handle(
+                request_document(envelope, id=request_id)
+            )
+
+        leader = threading.Thread(target=submit, args=("leader", "lead-1"))
+        leader.start()
+        assert entered.wait(timeout=30)  # the leader owns the flight
+        waiter = threading.Thread(target=submit, args=("waiter", "wait-1"))
+        waiter.start()
+        deadline = time.monotonic() + 30
+        while not service._flights and time.monotonic() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.1)  # let the waiter reach flight.done.wait()
+        release.set()
+        leader.join(timeout=30)
+        waiter.join(timeout=30)
+        return results
+
+    def blocking_pool(self, entered, release, after=None):
+        def blocked(document):
+            entered.set()
+            assert release.wait(timeout=30)
+            if isinstance(after, Exception):
+                raise after
+            return service_worker(document)
+
+        return StubPool(blocked)
+
+    def test_identical_concurrent_requests_share_one_computation(
+        self, envelope
+    ):
+        entered, release = threading.Event(), threading.Event()
+        pool = self.blocking_pool(entered, release)
+        service = make_service(pool=pool)
+        results = self.run_pair(service, envelope, entered, release)
+        status, lead_body = results["leader"]
+        assert status == 200 and lead_body["status"] == "ok"
+        assert "cache" not in lead_body
+        status, wait_body = results["waiter"]
+        assert status == 200 and wait_body["cache"] == "coalesced"
+        assert wait_body["id"] == "wait-1"
+        assert pool.calls == 1
+        assert service.perf.coalesced_requests == 1
+        assert service.stats.completed == 2
+        assert service._flights == {}  # the flight was cleaned up
+
+    def test_leader_failure_is_shared_too(self, envelope):
+        entered, release = threading.Event(), threading.Event()
+        pool = self.blocking_pool(
+            entered, release, after=WorkerCrashError("boom")
+        )
+        service = make_service(pool=pool)
+        results = self.run_pair(service, envelope, entered, release)
+        assert results["leader"][0] == 500
+        status, body = results["waiter"]
+        assert status == 500 and body["error"] == "WorkerCrashError"
+        assert pool.calls == 1  # the waiter did not retry the crash
+
+    def test_coalescing_can_be_disabled(self, envelope):
+        entered, release = threading.Event(), threading.Event()
+        calls = threading.Semaphore(0)
+
+        def counted(document):
+            calls.release()
+            entered.set()
+            assert release.wait(timeout=30)
+            return service_worker(document)
+
+        pool = StubPool(counted)
+        service = make_service(pool=pool, coalesce=False)
+        results = {}
+
+        def submit(name):
+            results[name] = service.handle(request_document(envelope, id=name))
+
+        threads = [
+            threading.Thread(target=submit, args=(name,))
+            for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(2):  # both requests must reach the pool
+            assert calls.acquire(timeout=30)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert pool.calls == 2
+        assert all(body["status"] == "ok" for _s, body in results.values())
+        assert service.perf.coalesced_requests == 0
 
 
 class TestDrain:
