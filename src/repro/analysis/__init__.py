@@ -6,10 +6,12 @@ from repro.analysis.decomposition import (
     decompose,
     decompose_taskset,
 )
+from repro.analysis.lockstep import LaneOutcome, analyze_taskset_batch
 from repro.analysis.sensitivity import breakdown_d_mem, breakdown_period_scale
 from repro.analysis.schedulability import (
     SchedulabilityVerdict,
     check_schedulability,
+    check_schedulability_batch,
     is_schedulable,
 )
 from repro.analysis.wcrt import WcrtResult, analyze_taskset
@@ -26,8 +28,11 @@ __all__ = [
     "breakdown_period_scale",
     "SchedulabilityVerdict",
     "check_schedulability",
+    "check_schedulability_batch",
     "is_schedulable",
+    "LaneOutcome",
     "WcrtResult",
     "analyze_taskset",
+    "analyze_taskset_batch",
     "weighted_schedulability",
 ]

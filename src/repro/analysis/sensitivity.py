@@ -25,7 +25,10 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.schedulability import check_schedulability
+from repro.analysis.schedulability import (
+    check_schedulability,
+    check_schedulability_batch,
+)
 from repro.analysis.wcrt import WarmHint
 from repro.errors import AnalysisError
 from repro.model.platform import Platform
@@ -88,10 +91,32 @@ def breakdown_period_scale(
         )
         return _chained_probe(hint_cell, verdict)
 
-    if not schedulable_at(upper):
-        return None
-    if schedulable_at(lower):
-        return lower
+    # The two bracket probes are independent task sets on one platform —
+    # exactly a two-lane lockstep batch.  Verdicts (and the hint-cell
+    # state the bisection starts from) are bit-identical to probing them
+    # one at a time: _chained_probe is applied in the scalar order, and a
+    # failed upper probe returns before the lower lane's outcome — even
+    # an exceptional one, which the scalar path would never have seen —
+    # is consulted.  (breakdown_d_mem cannot batch its probes: its lanes
+    # differ in platform, which a lockstep batch shares.)
+    if config.lockstep_kernel:
+        bracket = check_schedulability_batch(
+            [_scaled_taskset(taskset, upper), _scaled_taskset(taskset, lower)],
+            platform, config, perf=perf,
+        )
+        if isinstance(bracket[0], BaseException):
+            raise bracket[0]
+        if not _chained_probe(hint_cell, bracket[0]):
+            return None
+        if isinstance(bracket[1], BaseException):
+            raise bracket[1]
+        if _chained_probe(hint_cell, bracket[1]):
+            return lower
+    else:
+        if not schedulable_at(upper):
+            return None
+        if schedulable_at(lower):
+            return lower
     low, high = lower, upper  # unschedulable at low, schedulable at high
     while high - low > precision:
         mid = (low + high) / 2

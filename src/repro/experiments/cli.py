@@ -86,6 +86,15 @@ def _parser() -> argparse.ArgumentParser:
         "ratios, phase timings) after each experiment",
     )
     parser.add_argument(
+        "--profile-cprofile",
+        metavar="PATH",
+        default=None,
+        help="run the experiments under cProfile and dump a pstats file to "
+        "PATH (inspect with 'python -m pstats PATH'; see "
+        "docs/PERFORMANCE.md).  Forces --jobs 1: cProfile only sees the "
+        "current process, so worker processes would profile as idle waits",
+    )
+    parser.add_argument(
         "--journal",
         metavar="DIR",
         default=None,
@@ -151,6 +160,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["samples"] = args.samples
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
+    if args.profile_cprofile is not None:
+        # cProfile instruments only this process; spawn workers would show
+        # up as one opaque wait.  Profile the inline path instead.
+        overrides["jobs"] = 1
     if args.timeout is not None:
         overrides["timeout"] = args.timeout
     if args.budget is not None:
@@ -188,12 +201,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig3c": lambda: run_fig3c(settings, **sweep_kwargs),
         "fig3d": lambda: run_fig3d(settings, **sweep_kwargs),
     }
+    profiler = None
+    if args.profile_cprofile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     for name in chosen:
         if settings.profile:
             reset_global_counters()
         started = time.time()
         try:
-            result = runners[name]()
+            if profiler is not None:
+                profiler.enable()
+            try:
+                result = runners[name]()
+            finally:
+                if profiler is not None:
+                    profiler.disable()
         except SweepInterrupted as interruption:
             print(
                 f"repro-experiments: interrupted: {interruption}",
@@ -208,6 +233,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if settings.profile:
             print(global_counters().render())
             print()
+    if profiler is not None:
+        profiler.dump_stats(args.profile_cprofile)
+        print(
+            f"[cProfile stats written to {args.profile_cprofile}; inspect "
+            f"with 'python -m pstats {args.profile_cprofile}']"
+        )
     return EXIT_OK
 
 

@@ -89,10 +89,11 @@ def sweep_description(
     descriptions = []
     for variant in variants:
         analysis = _jsonable(variant.analysis)
-        # The batched kernel is an invisible optimisation (bit-identical
-        # results); keep it out of the fingerprint so journals written
-        # before the knob existed stay resumable.
+        # The batched and lockstep kernels are invisible optimisations
+        # (bit-identical results); keep them out of the fingerprint so
+        # journals written before the knobs existed stay resumable.
         analysis.pop("array_kernel", None)
+        analysis.pop("lockstep_kernel", None)
         descriptions.append(
             {
                 "label": variant.label,

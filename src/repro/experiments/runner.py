@@ -32,30 +32,37 @@ sweep.
 
 from __future__ import annotations
 
+import itertools
 import os
 import random
+import traceback
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
 
-from repro.analysis.schedulability import check_schedulability
+from repro.analysis.schedulability import (
+    check_schedulability,
+    check_schedulability_batch,
+)
 from repro.analysis.wcrt import WarmHint
 from repro.analysis.weighted import weighted_schedulability
 from repro.budget import Budget
-from repro.errors import AnalysisError, JournalError
+from repro.errors import AnalysisAborted, AnalysisError, JournalError
 from repro.experiments.config import SweepSettings, Variant
 from repro.experiments.journal import RunJournal, sweep_description, sweep_fingerprint
+from repro.experiments.stateplane import resident_plane
 from repro.experiments.supervisor import (
     SampleFailure,
     SweepSupervisor,
     WorkItem,
+    _digest,
 )
 from repro.generation.taskset_gen import GenerationConfig, generate_taskset
 from repro.model.interference import prefill_batch
 from repro.model.platform import BusPolicy, Platform
 from repro.perf import PerfCounters
 from repro.resultcache import ResultCache
-from repro.verify.faults import SweepFault
+from repro.verify.faults import SweepFault, trigger_sweep_fault
 
 #: Environment variable pointing sweep workers at a shared persistent
 #: result cache (see :mod:`repro.resultcache`).  An env var rather than a
@@ -325,18 +332,26 @@ def prewarm_items(
     :func:`~repro.model.interference.prefill_batch` per distinct
     CRPD/CPRO approach pair among the array-kernel variants — the whole
     point's per-pair tables compile in a single batch instead of one lazy
-    lookup at a time.  Purely an optimisation: every step is idempotent
-    and the analyses recompute anything missing, so a skipped or failed
-    prewarm never changes results.
+    lookup at a time.  Task sets come from the worker-resident
+    :func:`~repro.experiments.stateplane.resident_plane`, so a chunk
+    re-visiting a sample another chunk of this worker already touched
+    reuses the same object — generation, compiled pair tables and
+    warm-start seeds included (``perf.resident_table_hits``); the
+    re-prefill of a resident task set is an idempotent no-op.  Purely an
+    optimisation: every step is idempotent and the analyses recompute
+    anything missing, so a skipped or failed prewarm never changes
+    results.
     """
     if context is None:
         return None
     tasksets = context.setdefault("tasksets", {})
+    plane = resident_plane()
     fresh = []
     for item in items:
         if item.seed not in tasksets:
-            rng = random.Random(item.seed)
-            taskset = generate_taskset(rng, base_platform, item.utilization, generation)
+            taskset = plane.taskset(
+                base_platform, generation, item.utilization, item.seed, perf
+            )
             tasksets[item.seed] = taskset
             fresh.append(taskset)
     if fresh:
@@ -373,13 +388,22 @@ def evaluate_item(
     ``context`` carries the pre-generated task sets of
     :func:`prewarm_items` (consumed here, one use each) and the per-sample
     warm-hint chains threaded through consecutive utilisation points.
+    Chains live in the worker-resident
+    :func:`~repro.experiments.stateplane.resident_plane` (scoped by
+    platform/variants/generation so unrelated sweeps sharing a worker
+    never exchange hints), so they survive chunk boundaries: parallel
+    runs now chain adjacent points exactly like the sequential path.
+    Hints are verify-or-cold, so chain residency never changes verdicts.
     """
     taskset = None
     hint_chain = None
     if context is not None:
         taskset = context.setdefault("tasksets", {}).pop(sample_seed, None)
         if sample is not None:
-            hint_chain = context.setdefault("chains", {}).setdefault(sample, {})
+            scope = (base_platform, tuple(variants), generation)
+            hint_chain = context.setdefault("chains", {}).setdefault(
+                sample, resident_plane().chain(scope, sample)
+            )
     outcome = evaluate_sample(
         base_platform, utilization, variants, generation, sample_seed, perf,
         budget=budget, taskset=taskset, hint_chain=hint_chain,
@@ -387,10 +411,193 @@ def evaluate_item(
     return outcome.weight, outcome.verdicts
 
 
+def _evaluate_point_batch(
+    base_platform: Platform,
+    utilization: float,
+    variants: Tuple[Variant, ...],
+    generation: GenerationConfig,
+    group: List[WorkItem],
+    perf: PerfCounters,
+    sample_budget: Optional[float],
+    results_by_key: Dict,
+) -> None:
+    """Evaluate one point's items together through the lockstep engine.
+
+    The batch twin of running :func:`evaluate_sample` over ``group`` item
+    by item: same dominance orders and skip rules (one utilisation per
+    point, so one order covers the whole group), same warm-hint chain
+    updates, same per-item :class:`~repro.budget.Budget` spanning all
+    variants, same result-cache interaction — but each variant's analyses
+    run as one :func:`~repro.analysis.schedulability.check_schedulability_batch`
+    call, so the cold fixed points of the whole group iterate in lockstep.
+    Verdicts are bit-identical to the scalar sequence.  An item whose
+    analysis raises is recorded with the scalar path's tuple shape
+    (``budget``/``err``) and excluded from later variants, exactly as the
+    exception would have aborted the scalar per-item evaluation.
+    """
+    plane = resident_plane()
+    scope = (base_platform, variants, generation)
+    context: Dict = {}
+    prewarm_items(base_platform, variants, generation, group, perf, context)
+    pool = context.get("tasksets", {})
+    tasksets: Dict = {}
+    for item in group:
+        taskset = pool.pop(item.seed, None)
+        if taskset is None:
+            taskset = plane.taskset(
+                base_platform, generation, item.utilization, item.seed, perf
+            )
+        tasksets[item.key] = taskset
+    budgets = {
+        item.key: (
+            Budget(wall_seconds=sample_budget)
+            if sample_budget is not None
+            else None
+        )
+        for item in group
+    }
+    chains = {item.key: plane.chain(scope, item.sample) for item in group}
+    weights = {
+        item.key: tasksets[item.key].total_utilization(base_platform.d_mem)
+        for item in group
+    }
+    order, dominators, loose_order, dominated = _dominance_plan(variants)
+    if utilization <= _SUCCESS_ORDER_UTILIZATION:
+        order = loose_order
+    result_cache = _result_cache()
+    verdicts = {item.key: [False] * len(variants) for item in group}
+    missed = {item.key: [False] * len(variants) for item in group}
+    dead: set = set()
+    for index in order:
+        variant = variants[index]
+        lanes: List[WorkItem] = []
+        for item in group:
+            key = item.key
+            if key in dead:
+                continue
+            if any(verdicts[key][dom] for dom in dominated[index]):
+                verdicts[key][index] = True
+                perf.dominance_skips += 1
+                chains[key].pop(index, None)
+                continue
+            if any(missed[key][dom] for dom in dominators[index]):
+                perf.dominance_skips += 1
+                continue
+            lanes.append(item)
+        if not lanes:
+            continue
+        batch = check_schedulability_batch(
+            [tasksets[item.key] for item in lanes],
+            base_platform.with_bus_policy(variant.policy),
+            variant.analysis,
+            perf=perf,
+            budgets=[budgets[item.key] for item in lanes],
+            warm_hints=[chains[item.key].get(index) for item in lanes],
+            result_cache=result_cache,
+        )
+        for item, verdict in zip(lanes, batch):
+            key = item.key
+            if isinstance(verdict, BaseException):
+                dead.add(key)
+                kind = (
+                    "budget" if isinstance(verdict, AnalysisAborted) else "err"
+                )
+                results_by_key[key] = (
+                    kind,
+                    key,
+                    type(verdict).__name__,
+                    str(verdict),
+                    _digest("".join(traceback.format_exception(verdict))),
+                )
+                continue
+            verdicts[key][index] = verdict.schedulable
+            wcrt = verdict.wcrt
+            missed[key][index] = wcrt is not None and wcrt.failed_task is not None
+            chain = chains[key]
+            if wcrt is not None and wcrt.schedulable:
+                chain[index] = WarmHint(
+                    response_times={
+                        task.priority: value
+                        for task, value in wcrt.response_times.items()
+                    },
+                    outer_iterations=wcrt.outer_iterations,
+                )
+            else:
+                chain.pop(index, None)
+    for item in group:
+        key = item.key
+        if key in dead:
+            continue
+        results_by_key[key] = ("ok", key, weights[key], tuple(verdicts[key]))
+
+
+def evaluate_items_batch(
+    base_platform: Platform,
+    variants: Sequence[Variant],
+    generation: GenerationConfig,
+    chunk,
+    fault: Optional[SweepFault] = None,
+    sample_budget: Optional[float] = None,
+):
+    """``run_chunk``-compatible batch evaluation of one chunk (worker side).
+
+    Accepts the supervisor's ``(item, attempt)`` chunk payload and returns
+    the same ``(results, perf)`` pair :func:`repro.experiments.supervisor.run_chunk`
+    produces from the per-item path — with the same per-item fault
+    injection and the same per-sample isolation (one poisoned item yields
+    its ``err``/``budget`` tuple; the rest of the chunk completes).  Items
+    are grouped by sweep point (chunks are point-aligned, so normally one
+    group) and each group runs through :func:`_evaluate_point_batch`.
+    """
+    perf = PerfCounters()
+    variants = tuple(variants)
+    chunk = list(chunk)
+    results_by_key: Dict = {}
+    alive: List[WorkItem] = []
+    for item, attempt in chunk:
+        try:
+            trigger_sweep_fault(fault, item.point, item.sample, attempt)
+        except AnalysisAborted as abort:
+            results_by_key[item.key] = (
+                "budget",
+                item.key,
+                type(abort).__name__,
+                str(abort),
+                _digest(traceback.format_exc()),
+            )
+            continue
+        except Exception as error:  # noqa: BLE001 — the isolation boundary
+            results_by_key[item.key] = (
+                "err",
+                item.key,
+                type(error).__name__,
+                str(error),
+                _digest(traceback.format_exc()),
+            )
+            continue
+        alive.append(item)
+    for (point, utilization), grouped in itertools.groupby(
+        alive, key=lambda item: (item.point, item.utilization)
+    ):
+        _evaluate_point_batch(
+            base_platform,
+            utilization,
+            variants,
+            generation,
+            list(grouped),
+            perf,
+            sample_budget,
+            results_by_key,
+        )
+    return [results_by_key[item.key] for item, _attempt in chunk], perf
+
+
 #: Supervisor protocol: accept the ``point``/``sample``/``context`` kwargs.
 evaluate_item.supports_context = True
 #: Supervisor protocol: per-chunk batch prewarming hook.
 evaluate_item.prewarm = prewarm_items
+#: Supervisor protocol: whole-chunk batch evaluation via the lockstep engine.
+evaluate_item.evaluate_batch = evaluate_items_batch
 
 
 class CurveOutcomes(Dict[float, List[SampleOutcome]]):
@@ -471,15 +678,17 @@ def run_curve(
     worker processes; results are bit-identical to the sequential run
     because the per-sample seeds do not depend on execution order.
 
-    Cross-point warm-start chains: on the sequential path each sample
-    index carries its converged response-time maps from utilisation ``u``
-    into ``u + δ`` as :class:`~repro.analysis.wcrt.WarmHint`\\ s (strictly
-    re-verified, cold fallback — see :func:`evaluate_sample`), because one
-    shared evaluation context survives the whole curve.  Worker chunks
-    never span sweep points (see
-    :func:`~repro.experiments.supervisor.chunked`), so parallel runs get
-    per-point batch prewarming but no cross-point chains; verdicts are
-    bit-identical either way.
+    Cross-point warm-start chains: each sample index carries its
+    converged response-time maps from utilisation ``u`` into ``u + δ`` as
+    :class:`~repro.analysis.wcrt.WarmHint`\\ s (strictly re-verified, cold
+    fallback — see :func:`evaluate_sample`).  The chains live in the
+    worker-resident :func:`~repro.experiments.stateplane.resident_plane`,
+    so they survive chunk boundaries: sequential runs chain through the
+    whole curve and parallel workers chain whatever adjacent points they
+    happen to execute.  Chains are pure warm-start donors, so verdicts
+    are bit-identical with any chunk-to-worker assignment — including
+    the adaptive chunk sizes and tail work stealing of
+    :class:`~repro.experiments.supervisor.SweepSupervisor`.
 
     ``journal_dir`` checkpoints every completed item into an append-only
     JSONL journal keyed by the sweep fingerprint; with ``resume`` the

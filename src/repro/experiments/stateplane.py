@@ -1,0 +1,217 @@
+"""Worker-resident state plane: compiled sweep state that outlives chunks.
+
+A parallel sweep deals point-aligned chunks of ``(point, sample)`` items to
+spawn workers.  Before this module each chunk arrived stateless: the worker
+re-generated every task set, re-compiled its
+:class:`~repro.model.interference.BatchInterferenceTable` pair tables and
+re-derived every warm-start seed from scratch, even when the previous chunk
+it ran — or a neighbouring chunk of the same sweep — had already paid for
+identical state.  The :class:`StatePlane` is a small fingerprint-keyed LRU
+that keeps exactly that state resident in the worker process across chunks:
+
+* **Task sets**, keyed by the full generation fingerprint
+  ``(platform, generation, utilization, seed)``.  Generation is a pure
+  function of the key (the RNG is seeded from ``seed`` alone), so a cached
+  task set is *the same value* a fresh generation would produce — along
+  with every ``TaskSet.derived`` store hanging off it: interference
+  tables, batch-compiled pair tables, warm-start seeds.  A plane hit
+  therefore replaces generation + batch compile + cold fixed points with
+  the (strictly re-verified, bit-identical) warm-start path.
+* **Warm-hint chains**, keyed by a caller-supplied chain scope plus the
+  sample index, so adjacent utilisation points of one sample seed each
+  other even when their chunks arrive at different times.  Hints are
+  verify-or-cold (see :class:`~repro.analysis.wcrt.WarmHint`), so chain
+  reuse under *any* chunk ordering — including work stealing — never
+  changes a verdict.
+* **Canonical documents** (:meth:`canonical`), a generic build-once slot
+  the service tier uses to map equal request payloads onto one resident
+  task-set object per worker.
+
+Everything the plane caches is either a pure function of its key or
+verify-before-use, so the plane is invisible in results by construction —
+pinned by the ``resident-plane-identity`` oracle of :mod:`repro.verify`.
+Capacity is bounded (LRU, :data:`DEFAULT_CAPACITY` entries per kind) and
+tunable via the ``REPRO_STATE_PLANE_CAP`` environment variable; ``0``
+disables residency entirely (every lookup misses), which is also the
+differential reference configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.generation.taskset_gen import GenerationConfig, generate_taskset
+from repro.model.platform import Platform
+from repro.model.task import TaskSet
+from repro.perf import PerfCounters
+
+#: Environment variable bounding the per-kind LRU capacity of the
+#: process-global plane (``0`` disables residency; unset uses
+#: :data:`DEFAULT_CAPACITY`).  Purely an execution knob — like ``--jobs``
+#: it can never change results — so it is deliberately absent from every
+#: fingerprint.
+STATE_PLANE_CAP_ENV = "REPRO_STATE_PLANE_CAP"
+
+#: Default per-kind LRU capacity.  A fig2-scale sweep touches
+#: ``points x samples`` task sets per worker in the worst case (400 for
+#: the paper's grids), and a repeat sweep touches them *in the same
+#: order* — the LRU's worst case, where any capacity below the working
+#: set yields zero hits.  512 keeps a full fig2-scale sweep resident per
+#: worker (so a re-analysis replays warm) while still bounding memory to
+#: a few hundred task sets.
+DEFAULT_CAPACITY = 512
+
+
+def _env_capacity() -> int:
+    raw = os.environ.get(STATE_PLANE_CAP_ENV)
+    if raw is None:
+        return DEFAULT_CAPACITY
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_CAPACITY
+
+
+class StatePlane:
+    """Fingerprint-keyed LRU of compiled sweep state (see module docs).
+
+    Thread-safe for the lookups themselves; the cached *values* follow the
+    repo-wide single-threaded analysis discipline (one analysis at a time
+    per task set object), which both the supervisor workers and the
+    service pool already guarantee.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = _env_capacity() if capacity is None else max(0, capacity)
+        self._tasksets: "OrderedDict[Hashable, TaskSet]" = OrderedDict()
+        self._chains: "OrderedDict[Hashable, Dict]" = OrderedDict()
+        self._documents: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- generic LRU plumbing ------------------------------------------------
+
+    def _get(self, store: OrderedDict, key: Hashable):
+        with self._lock:
+            if key in store:
+                store.move_to_end(key)
+                return store[key]
+            return None
+
+    def _put(self, store: OrderedDict, key: Hashable, value) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            store[key] = value
+            store.move_to_end(key)
+            while len(store) > self.capacity:
+                store.popitem(last=False)
+
+    # -- the three kinds of resident state -----------------------------------
+
+    def taskset(
+        self,
+        platform: Platform,
+        generation: GenerationConfig,
+        utilization: float,
+        seed: int,
+        perf: Optional[PerfCounters] = None,
+    ) -> TaskSet:
+        """The task set of one sample, resident across chunks.
+
+        Generates (and caches) on miss; on hit returns the previously
+        generated object together with every derived table and warm-start
+        seed recorded against it.  ``perf`` counts hits and misses as
+        ``resident_table_hits`` / ``resident_table_misses``.
+        """
+        key = (platform, generation, utilization, seed)
+        cached = self._get(self._tasksets, key)
+        if cached is not None:
+            if perf is not None:
+                perf.resident_table_hits += 1
+            return cached
+        if perf is not None:
+            perf.resident_table_misses += 1
+        taskset = generate_taskset(
+            random.Random(seed), platform, utilization, generation
+        )
+        self._put(self._tasksets, key, taskset)
+        return taskset
+
+    def chain(self, scope: Hashable, sample: int) -> Dict:
+        """The warm-hint chain of one sample index within ``scope``.
+
+        ``scope`` should fingerprint everything the chain's hints depend
+        on (platform, variants, generation) so unrelated sweeps sharing a
+        worker never exchange hints.  The returned dict is mutated in
+        place by :func:`repro.experiments.runner.evaluate_sample`.
+        """
+        key = (scope, sample)
+        chain = self._get(self._chains, key)
+        if chain is None:
+            chain = {}
+            self._put(self._chains, key, chain)
+        return chain
+
+    def canonical(
+        self,
+        key: Hashable,
+        builder: Callable[[], object],
+        perf: Optional[PerfCounters] = None,
+    ) -> object:
+        """Build-once slot mapping equal documents onto one resident object.
+
+        The service tier keys this by the canonical-JSON digest of a
+        request's task set so repeated identical requests served by one
+        resident worker share a single task-set object (and its derived
+        tables and warm-start seeds) instead of re-materialising it per
+        request.
+        """
+        cached = self._get(self._documents, key)
+        if cached is not None:
+            if perf is not None:
+                perf.resident_table_hits += 1
+            return cached
+        if perf is not None:
+            perf.resident_table_misses += 1
+        value = builder()
+        self._put(self._documents, key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all resident state (tests and respawned workers)."""
+        with self._lock:
+            self._tasksets.clear()
+            self._chains.clear()
+            self._documents.clear()
+
+
+_PLANE: Optional[StatePlane] = None
+_PLANE_LOCK = threading.Lock()
+
+
+def resident_plane() -> StatePlane:
+    """The process-global plane shared by sweep workers and service workers.
+
+    Created lazily on first use (so spawn workers build theirs after the
+    fork/spawn boundary) and shared for the life of the process.  The
+    capacity is read from the environment at creation time; tests that
+    need a differently sized plane should construct their own
+    :class:`StatePlane` or call :func:`reset_resident_plane`.
+    """
+    global _PLANE
+    if _PLANE is None:
+        with _PLANE_LOCK:
+            if _PLANE is None:
+                _PLANE = StatePlane()
+    return _PLANE
+
+
+def reset_resident_plane() -> None:
+    """Drop the process-global plane (tests; re-reads capacity on next use)."""
+    global _PLANE
+    with _PLANE_LOCK:
+        _PLANE = None

@@ -249,8 +249,23 @@ def run_chunk(args):
     reported as a ``"budget"`` record so the supervisor can quarantine it
     without charging retries.  Returns the result list plus the chunk's
     perf counters for the parent to merge.
+
+    An ``evaluate`` exposing ``evaluate.evaluate_batch`` (the lockstep
+    protocol — see :func:`repro.experiments.runner.evaluate_items_batch`)
+    evaluates the whole chunk in one call, with identical per-item fault
+    injection and isolation semantics and bit-identical results; any
+    unexpected failure of the batch layer itself falls back to the
+    per-item path below.
     """
     evaluate, platform, variants, generation, chunk, fault, sample_budget = args
+    batch = getattr(evaluate, "evaluate_batch", None)
+    if batch is not None:
+        try:
+            return batch(
+                platform, variants, generation, chunk, fault, sample_budget
+            )
+        except Exception:  # noqa: BLE001 — batch layer bug: per-item fallback
+            pass
     perf = PerfCounters()
     context = _prepare_context(
         evaluate, platform, variants, generation,
@@ -293,28 +308,64 @@ def run_chunk(args):
     return results, perf
 
 
+#: Worker-resident chunk arguments, installed once per worker process by
+#: :func:`_worker_init` so per-chunk submissions carry only the chunk
+#: payload instead of re-pickling the shared platform/variants/generation
+#: state (and the evaluate reference) with every chunk.
+_WORKER_STATE: Optional[Tuple] = None
+
+
+def _worker_init(evaluate, platform, variants, generation, fault, sample_budget):
+    """Pool initializer: park the sweep's shared state in the worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = (evaluate, platform, variants, generation, fault, sample_budget)
+
+
+def run_resident_chunk(payload):
+    """Worker-side chunk entry using the resident state of :func:`_worker_init`.
+
+    Together with the process-global
+    :func:`~repro.experiments.stateplane.resident_plane` the worker keeps
+    between chunks (task sets, compiled pair tables, warm-start seeds,
+    hint chains), this makes workers stateful across chunks while leaving
+    every recovery path untouched: a respawned pool simply re-runs
+    :func:`_worker_init` and starts with an empty plane.
+    """
+    evaluate, platform, variants, generation, fault, sample_budget = _WORKER_STATE
+    return run_chunk(
+        (evaluate, platform, variants, generation, payload, fault, sample_budget)
+    )
+
+
 def chunked(
     items: Sequence[WorkItem], jobs: int
 ) -> List[Tuple[WorkItem, ...]]:
     """Split the flat item list into contiguous, load-balancing chunks.
 
-    A few chunks per worker smooths out the cost imbalance between easy
-    and hard samples without drowning the pool in per-item dispatch
-    overhead.  Chunks never span sweep points: each point's samples are
-    split on their own, so a chunk's prewarm hook (see
-    :func:`_prepare_context`) always sees task sets of a single point and
-    the batch kernel compiles a whole point together.  Chunk boundaries
-    are not part of the journal fingerprint — per-sample seeds make any
-    partitioning bit-identical.
+    Chunk sizes are *guided*: within each point the leading chunks are
+    large (``remaining / (2 x jobs)``) and later ones shrink towards a
+    floor, so early dispatches amortise batch compilation over many
+    samples while the tail stays fine-grained enough for the work-stealing
+    split in :meth:`SweepSupervisor._run_supervised` to even out stragglers.
+    Chunks never span sweep points: each point's samples are split on
+    their own, so a chunk's prewarm hook (see :func:`_prepare_context`)
+    always sees task sets of a single point and the batch kernel compiles
+    a whole point together.  Chunk boundaries are not part of the journal
+    fingerprint — per-sample seeds make any partitioning (including the
+    adaptive sizes and any stealing splits) bit-identical and any journal
+    resumable under a different ``jobs`` value.
     """
-    chunk_size = max(1, -(-len(items) // (max(jobs, 1) * 4)))
+    jobs = max(jobs, 1)
     chunks: List[Tuple[WorkItem, ...]] = []
     for _point, group in itertools.groupby(items, key=lambda item: item.point):
         point_items = tuple(group)
-        chunks.extend(
-            point_items[start : start + chunk_size]
-            for start in range(0, len(point_items), chunk_size)
-        )
+        floor = max(1, -(-len(point_items) // (jobs * 8)))
+        start = 0
+        while start < len(point_items):
+            remaining = len(point_items) - start
+            size = max(floor, remaining // (jobs * 2))
+            chunks.append(point_items[start : start + size])
+            start += size
     return chunks
 
 
@@ -389,8 +440,10 @@ class SweepSupervisor:
         completed: Dict[ItemKey, ItemResult] = {}
         failures: List[SampleFailure] = []
         attempts: Dict[ItemKey, int] = {item.key: 0 for item in items}
+        by_key: Dict[ItemKey, WorkItem] = {item.key: item for item in items}
         queue: Deque[WorkItem] = deque(items)
         perf = PerfCounters()
+        batch = getattr(self.evaluate, "evaluate_batch", None)
         supports_context = getattr(self.evaluate, "supports_context", False)
         prewarm = (
             getattr(self.evaluate, "prewarm", None) if supports_context else None
@@ -405,6 +458,58 @@ class SweepSupervisor:
             self._check_interrupt()
             item = queue.popleft()
             attempt = attempts[item.key]
+            if (
+                batch is not None
+                and attempt == 0
+                and queue
+                and queue[0].point == item.point
+                and attempts[queue[0].key] == 0
+            ):
+                # First-attempt items of one point at the head of the
+                # queue: evaluate them as a single lockstep batch.  Items
+                # the batch reports as failed re-queue for the per-item
+                # path below, which owns retries, backoff and quarantine.
+                run = [item]
+                while (
+                    queue
+                    and queue[0].point == item.point
+                    and attempts[queue[0].key] == 0
+                ):
+                    run.append(queue.popleft())
+                payload = tuple((it, 0) for it in run)
+                try:
+                    results, chunk_perf = batch(
+                        self.platform, self.variants, self.generation,
+                        payload, self.fault, self.settings.sample_budget,
+                    )
+                except Exception:  # noqa: BLE001 — batch bug: per-item redo
+                    for it in reversed(run):
+                        queue.appendleft(it)
+                    batch = None
+                    continue
+                perf.merge(chunk_perf)
+                for result in results:
+                    if result[0] == "ok":
+                        _, key, weight, verdicts = result
+                        self._complete(key, weight, tuple(verdicts), completed)
+                    elif result[0] == "budget":
+                        _, key, exception, message, digest = result
+                        attempts[key] += 1
+                        self._quarantine(
+                            by_key[key], "budget", exception, message, digest,
+                            attempts[key], failures,
+                        )
+                    else:
+                        _, key, exception, message, digest = result
+                        attempts[key] += 1
+                        if attempts[key] > self.settings.retries:
+                            self._quarantine(
+                                by_key[key], "exception", exception, message,
+                                digest, attempts[key], failures,
+                            )
+                        else:
+                            queue.append(by_key[key])
+                continue
             if prewarm is not None and item.point not in prewarmed_points:
                 prewarmed_points.add(item.point)
                 try:
@@ -473,6 +578,7 @@ class SweepSupervisor:
         failures: List[SampleFailure] = []
         attempts: Dict[ItemKey, int] = {item.key: 0 for item in items}
         by_key: Dict[ItemKey, WorkItem] = {item.key: item for item in items}
+        supervisor_perf = PerfCounters()
         ready: Deque[Tuple[WorkItem, ...]] = deque(chunked(items, self.settings.jobs))
         # Chunks implicated in an ambiguous pool death: re-run one at a
         # time (nothing else in flight) so the next death names its culprit.
@@ -501,24 +607,26 @@ class SweepSupervisor:
                         chunk = suspects.popleft()
                     elif ready:
                         chunk = ready.popleft()
+                        # Tail work stealing: when fewer queued chunks
+                        # remain than idle workers, split this chunk so a
+                        # straggler's samples spread over the idle slots.
+                        # Splits stay inside the chunk's sweep point and
+                        # per-sample seeds make any partitioning
+                        # bit-identical, so journals and --resume are
+                        # unaffected.
+                        idle_after = self.settings.jobs - len(futures) - 1
+                        if idle_after > len(ready) and len(chunk) > 1:
+                            mid = len(chunk) // 2
+                            ready.append(chunk[mid:])
+                            chunk = chunk[:mid]
+                            supervisor_perf.chunks_stolen += 1
                     else:
                         break
                     payload = tuple(
                         (item, attempts[item.key]) for item in chunk
                     )
                     try:
-                        future = executor.submit(
-                            run_chunk,
-                            (
-                                self.evaluate,
-                                self.platform,
-                                self.variants,
-                                self.generation,
-                                payload,
-                                self.fault,
-                                self.settings.sample_budget,
-                            ),
-                        )
+                        future = executor.submit(run_resident_chunk, payload)
                     except BrokenProcessPool:
                         (suspects if solo else ready).appendleft(chunk)
                         broken = True
@@ -581,6 +689,7 @@ class SweepSupervisor:
                     )
         finally:
             self._kill_executor(executor)
+        merge_global(supervisor_perf)
         return completed, failures
 
     # -- helpers -------------------------------------------------------------
@@ -588,8 +697,20 @@ class SweepSupervisor:
     def _new_executor(self) -> ProcessPoolExecutor:
         # Spawn, explicitly: identical worker semantics on Linux/macOS and
         # no inherited signal handlers, fault flags or journal handles.
+        # The initializer parks the sweep's shared state in each worker
+        # (see _worker_init) so chunk submissions ship only item payloads.
         return ProcessPoolExecutor(
-            max_workers=self.settings.jobs, mp_context=get_context("spawn")
+            max_workers=self.settings.jobs,
+            mp_context=get_context("spawn"),
+            initializer=_worker_init,
+            initargs=(
+                self.evaluate,
+                self.platform,
+                self.variants,
+                self.generation,
+                self.fault,
+                self.settings.sample_budget,
+            ),
         )
 
     @staticmethod

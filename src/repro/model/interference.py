@@ -186,6 +186,40 @@ def _array_popcounts_available() -> bool:
     return _np is not None and hasattr(_np, "bitwise_count")
 
 
+_ARRAY_KERNEL_WARNED = False
+
+
+def note_array_kernel_unavailable(perf: Optional[object] = None) -> None:
+    """Record that a vectorised kernel was requested without numpy.
+
+    ``AnalysisConfig(array_kernel=True)`` / ``lockstep_kernel=True`` are on
+    by default, but the numpy backend behind them is an optional extra
+    (``pip install .[fast]``).  The pure-Python fallbacks are bit-identical,
+    so silently falling back would be *correct* — and would just as
+    silently forfeit the speedup the caller asked for.  This hook makes the
+    fallback observable instead: the first occurrence per process emits a
+    ``RuntimeWarning`` and every occurrence bumps the
+    ``array_kernel_unavailable`` perf counter (merged across sweep workers
+    like every other counter, so ``--profile`` and the daemon's ``/stats``
+    show fleet-wide totals).
+    """
+    global _ARRAY_KERNEL_WARNED
+    if perf is not None:
+        perf.array_kernel_unavailable += 1
+    if not _ARRAY_KERNEL_WARNED:
+        _ARRAY_KERNEL_WARNED = True
+        import warnings
+
+        warnings.warn(
+            "array/lockstep kernel requested but numpy is not importable; "
+            "running the bit-identical pure-Python fallback (install the "
+            "optional extra: pip install '.[fast]' for the vectorised "
+            "backend)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 class _PopcountBatch:
     """Flat buffer of AND-mask popcount jobs spanning a whole batch.
 
@@ -284,6 +318,10 @@ class BatchInterferenceTable:
         for taskset in self.tasksets:
             plans.append(self._plan(taskset, crpd, cpro, batch, perf))
         counts, self.used_arrays = batch.resolve(arrays)
+        if arrays and _np is None:
+            # The caller asked for the vectorised backend but the optional
+            # ``.[fast]`` extra is absent: fall back loudly, not silently.
+            note_array_kernel_unavailable(perf)
         for plan in plans:
             gamma, evictions = self._scatter(plan, crpd, cpro, counts)
             self.gamma_tables.append(gamma)

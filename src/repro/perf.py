@@ -76,6 +76,28 @@ class PerfCounters:
     #: task set already failed with a genuine deadline miss (see
     #: :mod:`repro.experiments.runner`).
     dominance_skips: int = 0
+    #: Cold fixed-point batches executed by the lockstep multi-sample
+    #: engine (:mod:`repro.analysis.lockstep`) — one per group of lanes
+    #: iterated together as structure-of-arrays state.
+    lockstep_batches: int = 0
+    #: Lanes retired from a lockstep batch, whatever the exit: converged
+    #: schedulable, deadline miss, budget abort or a per-lane error.
+    lane_retirements: int = 0
+    #: Task sets served from the worker-resident state plane
+    #: (:mod:`repro.experiments.stateplane`) with their compiled
+    #: interference tables, batch-prefill markers and warm seeds intact.
+    resident_table_hits: int = 0
+    #: State-plane lookups that had to generate (and compile) fresh state.
+    resident_table_misses: int = 0
+    #: Queued multi-item chunks split in two by the supervisor's
+    #: work-stealing scheduler so idle workers could pick up the half.
+    chunks_stolen: int = 0
+    #: Batches that requested the vectorised array/lockstep kernels while
+    #: numpy (the optional ``.[fast]`` extra) was not importable — the
+    #: bit-identical pure-Python fallback ran instead (a one-time warning
+    #: accompanies the first occurrence; see
+    #: :func:`repro.model.interference.note_array_kernel_unavailable`).
+    array_kernel_unavailable: int = 0
     #: Analyses aborted cooperatively by a budget or cancel token (see
     #: :mod:`repro.budget`) instead of running to a verdict.
     budget_aborts: int = 0
@@ -208,6 +230,26 @@ class PerfCounters:
             lines.append(
                 f"  batched tasksets  {self.batch_analyses:>12d}   "
                 f"array batches    {self.array_kernel_batches:>10d}"
+            )
+        if self.lockstep_batches:
+            lines.append(
+                f"  lockstep batches  {self.lockstep_batches:>12d}   "
+                f"lane retirements {self.lane_retirements:>10d}"
+            )
+        if self.resident_table_hits or self.resident_table_misses:
+            lookups = self.resident_table_hits + self.resident_table_misses
+            ratio = self.resident_table_hits / lookups if lookups else 0.0
+            lines.append(
+                f"  resident plane    hits {self.resident_table_hits:>10d}   "
+                f"misses {self.resident_table_misses:>10d}   "
+                f"hit ratio {100 * ratio:5.1f}%"
+            )
+        if self.chunks_stolen:
+            lines.append(f"  chunks stolen     {self.chunks_stolen:>12d}")
+        if self.array_kernel_unavailable:
+            lines.append(
+                f"  array kernel unavailable (no numpy) "
+                f"{self.array_kernel_unavailable:>10d}"
             )
         if self.budget_aborts:
             lines.append(f"  budget aborts     {self.budget_aborts:>12d}")

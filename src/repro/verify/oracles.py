@@ -31,6 +31,18 @@ fuzz noise:
     from an adjacent converged analysis returns a result bit-identical
     to the cold analysis, and an exact hint actually engages.  Also
     ``always_replay``.
+``lockstep-identity``
+    The lockstep multi-sample engine
+    (:func:`~repro.analysis.lockstep.analyze_taskset_batch`) returns
+    outcomes bit-identical to analysing the same lanes one at a time
+    with ``AnalysisConfig(lockstep_kernel=False)`` — including the error
+    class and message of exceptional lanes.  Also ``always_replay``.
+``resident-plane-identity``
+    Serving repeated equal inputs from a worker-resident
+    :class:`~repro.experiments.stateplane.StatePlane` (one canonical
+    task-set object, warm-start seeds resident across requests) returns
+    results bit-identical to fresh-object cold analyses.  Also
+    ``always_replay``.
 ``persistence-tightens``
     The persistence-aware bounds of Lemmas 1-2 never exceed the baseline
     bounds of Davis et al., and never flip a baseline-schedulable set to
@@ -527,6 +539,109 @@ def _check_fixed_point_sanity(case: TasksetCase) -> List[str]:
                 f"task {task.name!r}: schedulable verdict but bound {bound} "
                 f"> deadline {int(task.deadline)}"
             )
+    return messages
+
+
+@register(
+    "lockstep-identity",
+    ("taskset",),
+    "lockstep multi-lane batch == sequential scalar analyses, bit for bit",
+    always_replay=True,
+)
+def _check_lockstep_identity(case: TasksetCase) -> List[str]:
+    from repro.analysis.lockstep import analyze_taskset_batch
+
+    lanes = 3
+    # Fresh task-set objects per lane: lanes share no derived stores, so
+    # every lane is an independent cold analysis — exactly what the
+    # sequential scalar reference below computes.
+    outcomes = analyze_taskset_batch(
+        [case.taskset() for _ in range(lanes)],
+        case.platform,
+        replace(case.config, lockstep_kernel=True),
+    )
+    scalar_config = replace(case.config, lockstep_kernel=False)
+    messages: List[str] = []
+    for index, outcome in enumerate(outcomes):
+        try:
+            reference: Optional[WcrtResult] = analyze_taskset(
+                case.taskset(), case.platform, scalar_config
+            )
+            reference_error: Optional[BaseException] = None
+        except Exception as error:  # noqa: BLE001 — compared, not raised
+            reference = None
+            reference_error = error
+        if reference_error is not None:
+            if outcome.error is None or (
+                type(outcome.error) is not type(reference_error)
+                or str(outcome.error) != str(reference_error)
+            ):
+                messages.append(
+                    f"lane {index}: scalar raised "
+                    f"{type(reference_error).__name__}: {reference_error} "
+                    f"but lockstep returned "
+                    f"{outcome.error!r} / {outcome.result!r}"
+                )
+        elif outcome.error is not None:
+            messages.append(
+                f"lane {index}: lockstep raised "
+                f"{type(outcome.error).__name__}: {outcome.error} "
+                f"but the scalar analysis succeeded"
+            )
+        elif outcome.result != reference:
+            messages.append(
+                f"lane {index}: lockstep result differs from scalar: "
+                f"schedulable {outcome.result.schedulable} vs "
+                f"{reference.schedulable}, outer "
+                f"{outcome.result.outer_iterations} vs "
+                f"{reference.outer_iterations}, response times equal: "
+                f"{outcome.result.response_times == reference.response_times}"
+            )
+    return messages
+
+
+@register(
+    "resident-plane-identity",
+    ("taskset",),
+    "resident-plane canonical replays == fresh-object cold analyses, bit for bit",
+    always_replay=True,
+)
+def _check_resident_plane_identity(case: TasksetCase) -> List[str]:
+    from repro.experiments.stateplane import StatePlane
+
+    plane = StatePlane(capacity=4)
+    config = replace(case.config, warm_start=True)
+    fresh = analyze_taskset(case.taskset(), case.platform, config)
+    first = plane.canonical("case", case.taskset)
+    second = plane.canonical("case", case.taskset)
+    messages: List[str] = []
+    if second is not first:
+        messages.append(
+            "plane.canonical rebuilt the document instead of returning the "
+            "resident object"
+        )
+    # First analysis on the resident object is cold; the replay takes the
+    # strictly re-verified warm-start path off the object's derived seeds.
+    resident_cold = analyze_taskset(first, case.platform, config)
+    resident_warm = analyze_taskset(second, case.platform, config)
+    for label, result in (("cold", resident_cold), ("warm", resident_warm)):
+        if result != fresh:
+            messages.append(
+                f"resident-plane {label} analysis differs from the "
+                f"fresh-object analysis: schedulable {result.schedulable} vs "
+                f"{fresh.schedulable}, outer {result.outer_iterations} vs "
+                f"{fresh.outer_iterations}, response times equal: "
+                f"{result.response_times == fresh.response_times}"
+            )
+    if (
+        fresh.schedulable
+        and resident_warm.perf is not None
+        and resident_warm.perf.warm_starts != 1
+    ):
+        messages.append(
+            "warm start did not engage on the resident replay "
+            f"(warm_starts = {resident_warm.perf.warm_starts})"
+        )
     return messages
 
 

@@ -22,12 +22,21 @@ iteration counts):
   sensitivity bisections) versus hint-free cold runs;
 * the dominance-ordered variant evaluation of ``evaluate_sample`` (both
   the tightest-first and loosest-first orders) versus brute-forcing every
-  variant independently.
+  variant independently;
+* the lockstep multi-sample engine
+  (:func:`repro.analysis.lockstep.analyze_taskset_batch`, with and
+  without the numpy row fold) versus the sequential per-lane path
+  (``AnalysisConfig(lockstep_kernel=False)``);
+* the worker-resident state plane
+  (:class:`repro.experiments.stateplane.StatePlane` replaying resident
+  task sets through re-verified warm starts) versus residency disabled
+  (``REPRO_STATE_PLANE_CAP=0``).
 
 This file pins them down over broad randomized samples; the fuzzing
 counterparts are the ``memo-identity`` / ``bitset-identity`` /
 ``warm-start-identity`` / ``batch-identity`` /
-``adjacent-warmstart-identity`` oracles of :mod:`repro.verify.oracles`.
+``adjacent-warmstart-identity`` / ``lockstep-identity`` /
+``resident-plane-identity`` oracles of :mod:`repro.verify.oracles`.
 """
 
 import random
@@ -521,3 +530,154 @@ class TestDominanceSkipsAreInvisible:
                 for variant in variants
             )
             assert outcome.verdicts == brute
+
+
+def _lockstep_snapshot(result):
+    """Object-independent projection of a WcrtResult (Task compares by id)."""
+    return (
+        result.schedulable,
+        result.outer_iterations,
+        None if result.failed_task is None else result.failed_task.priority,
+        {task.priority: r for task, r in result.response_times.items()},
+    )
+
+
+class TestLockstepIsInvisible:
+    """The lockstep batch engine vs the sequential scalar path, bit for bit.
+
+    The edge-case tests live in ``tests/test_lockstep.py``; here the broad
+    randomized grid pins the equivalence across utilisations, bus
+    policies, and the numpy-absent pure-Python fold.
+    """
+
+    @pytest.mark.parametrize("utilization", [0.15, 0.35, 0.5, 0.65, 0.85])
+    def test_batch_matches_scalar_sequence(self, utilization):
+        from repro.analysis.lockstep import analyze_taskset_batch
+
+        base = default_platform()
+        for policy in (BusPolicy.FP, BusPolicy.TDMA, BusPolicy.PERFECT):
+            platform = base.with_bus_policy(policy)
+
+            def fresh():
+                return [
+                    generate_taskset(random.Random(seed), base, utilization)
+                    for seed in range(5)
+                ]
+
+            batch = analyze_taskset_batch(
+                fresh(), platform, AnalysisConfig(lockstep_kernel=True)
+            )
+            scalar_config = AnalysisConfig(lockstep_kernel=False)
+            for outcome, taskset in zip(batch, fresh()):
+                assert outcome.ok
+                reference = analyze_taskset(taskset, platform, scalar_config)
+                assert _lockstep_snapshot(outcome.result) == _lockstep_snapshot(
+                    reference
+                )
+
+    @pytest.mark.parametrize("utilization", [0.35, 0.65])
+    def test_numpy_absent_fold_identical(self, utilization, monkeypatch):
+        from repro.analysis import lockstep as lockstep_mod
+        from repro.analysis.lockstep import analyze_taskset_batch
+
+        monkeypatch.setattr(lockstep_mod, "_np", None)
+        monkeypatch.setattr(interference_mod, "_ARRAY_KERNEL_WARNED", True)
+        base = default_platform()
+        perf = PerfCounters()
+        batch = analyze_taskset_batch(
+            [
+                generate_taskset(random.Random(seed), base, utilization)
+                for seed in range(4)
+            ],
+            base,
+            AnalysisConfig(lockstep_kernel=True),
+            perf=perf,
+        )
+        assert perf.array_kernel_unavailable == 1
+        scalar_config = AnalysisConfig(lockstep_kernel=False)
+        for outcome, seed in zip(batch, range(4)):
+            assert outcome.ok
+            reference = analyze_taskset(
+                generate_taskset(random.Random(seed), base, utilization),
+                base,
+                scalar_config,
+            )
+            assert _lockstep_snapshot(outcome.result) == _lockstep_snapshot(
+                reference
+            )
+
+    @pytest.mark.parametrize("utilization", [0.3, 0.6])
+    def test_batch_worker_path_matches_per_item_path(self, utilization):
+        from repro.experiments.stateplane import reset_resident_plane
+        from repro.experiments.supervisor import WorkItem
+        from repro.experiments.runner import evaluate_items_batch, evaluate_sample
+
+        base = default_platform()
+        variants = standard_variants(True)
+        generation = GenerationConfig()
+        items = [
+            WorkItem(0, i, utilization, _sample_seed(55, 0, i))
+            for i in range(6)
+        ]
+        reset_resident_plane()
+        results, _perf = evaluate_items_batch(
+            base, variants, generation, [(item, 0) for item in items]
+        )
+        reset_resident_plane()
+        for item, result in zip(items, results):
+            assert result[0] == "ok"
+            _tag, key, weight, verdicts = result
+            assert key == item.key
+            outcome = evaluate_sample(
+                base, utilization, variants, generation, item.seed
+            )
+            assert verdicts == outcome.verdicts
+            assert weight == outcome.weight
+        reset_resident_plane()
+
+
+class TestResidentPlaneIsInvisible:
+    """Worker-resident state (capacity on vs 0) never changes outcomes."""
+
+    def test_sweep_outcomes_identical_with_and_without_residency(
+        self, monkeypatch
+    ):
+        from repro.experiments.stateplane import (
+            STATE_PLANE_CAP_ENV,
+            reset_resident_plane,
+        )
+
+        settings = SweepSettings(
+            samples=6, seed=13, utilizations=(0.3, 0.5, 0.7), jobs=1
+        )
+        variants = standard_variants(False)[:2]
+        monkeypatch.setenv(STATE_PLANE_CAP_ENV, "0")
+        reset_resident_plane()
+        without = run_curve(default_platform(), variants, settings)
+        monkeypatch.delenv(STATE_PLANE_CAP_ENV)
+        reset_resident_plane()
+        with_plane = run_curve(default_platform(), variants, settings)
+        reset_resident_plane()
+        assert dict(without) == dict(with_plane)
+        assert not without.failures and not with_plane.failures
+
+    def test_canonical_replay_matches_fresh_analysis(self):
+        from repro.experiments.stateplane import StatePlane
+
+        base = default_platform()
+        plane = StatePlane(capacity=4)
+        config = AnalysisConfig(warm_start=True)
+        for seed in range(4):
+            def build(seed=seed):
+                return generate_taskset(random.Random(seed), base, 0.4)
+
+            fresh = analyze_taskset(build(), base, config)
+            resident = plane.canonical(("case", seed), build)
+            cold = analyze_taskset(resident, base, config)
+            warm = analyze_taskset(
+                plane.canonical(("case", seed), build), base, config
+            )
+            assert _lockstep_snapshot(cold) == _lockstep_snapshot(fresh)
+            assert _lockstep_snapshot(warm) == _lockstep_snapshot(fresh)
+            if fresh.schedulable:
+                assert warm.perf.warm_starts == 1

@@ -43,6 +43,52 @@ class TestPerfCounters:
         assert a.phase_seconds["analysis"] == 0.75
         assert a.phase_seconds["generation"] == 0.1
 
+    def test_merge_accumulates_lockstep_and_residency_counters(self):
+        a = PerfCounters(
+            lockstep_batches=1,
+            lane_retirements=4,
+            resident_table_hits=2,
+        )
+        b = PerfCounters(
+            lockstep_batches=2,
+            lane_retirements=3,
+            resident_table_hits=5,
+            resident_table_misses=1,
+            chunks_stolen=2,
+            array_kernel_unavailable=1,
+        )
+        a.merge(b)
+        assert a.lockstep_batches == 3
+        assert a.lane_retirements == 7
+        assert a.resident_table_hits == 7
+        assert a.resident_table_misses == 1
+        assert a.chunks_stolen == 2
+        assert a.array_kernel_unavailable == 1
+
+    def test_new_counters_survive_the_worker_transport(self):
+        # Worker processes return their counters by pickling (see
+        # repro.experiments.supervisor.run_chunk); the merge on the parent
+        # side must see every lockstep/residency field intact.
+        import pickle
+
+        counters = PerfCounters(
+            lockstep_batches=4,
+            lane_retirements=9,
+            resident_table_hits=3,
+            resident_table_misses=2,
+            chunks_stolen=1,
+            array_kernel_unavailable=6,
+        )
+        shipped = pickle.loads(pickle.dumps(counters))
+        aggregate = PerfCounters(lockstep_batches=1)
+        aggregate.merge(shipped)
+        assert aggregate.lockstep_batches == 5
+        assert aggregate.lane_retirements == 9
+        assert aggregate.resident_table_hits == 3
+        assert aggregate.resident_table_misses == 2
+        assert aggregate.chunks_stolen == 1
+        assert aggregate.array_kernel_unavailable == 6
+
     def test_reset_zeroes_everything(self):
         counters = PerfCounters(analyses=5, bao_hits=2, outer_iterations=9)
         counters.phase_seconds["analysis"] = 1.0

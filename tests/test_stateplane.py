@@ -1,0 +1,147 @@
+"""Tests of the worker-resident sweep state plane."""
+
+import random
+
+import pytest
+
+from repro.experiments.config import default_platform
+from repro.experiments.stateplane import (
+    DEFAULT_CAPACITY,
+    STATE_PLANE_CAP_ENV,
+    StatePlane,
+    reset_resident_plane,
+    resident_plane,
+)
+from repro.generation.taskset_gen import GenerationConfig, generate_taskset
+from repro.perf import PerfCounters
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plane():
+    reset_resident_plane()
+    yield
+    reset_resident_plane()
+
+
+class TestTasksetResidency:
+    def test_hit_returns_the_same_object(self):
+        plane = StatePlane(capacity=8)
+        platform = default_platform()
+        generation = GenerationConfig()
+        perf = PerfCounters()
+        first = plane.taskset(platform, generation, 0.4, 7, perf)
+        again = plane.taskset(platform, generation, 0.4, 7, perf)
+        assert again is first
+        assert perf.resident_table_misses == 1
+        assert perf.resident_table_hits == 1
+
+    def test_miss_generates_the_exact_fresh_value(self):
+        plane = StatePlane(capacity=8)
+        platform = default_platform()
+        generation = GenerationConfig()
+        resident = plane.taskset(platform, generation, 0.5, 11)
+        fresh = generate_taskset(random.Random(11), platform, 0.5, generation)
+        assert [t.priority for t in resident] == [t.priority for t in fresh]
+        assert [int(t.pd) for t in resident] == [int(t.pd) for t in fresh]
+        assert [t.period for t in resident] == [t.period for t in fresh]
+
+    def test_distinct_keys_do_not_collide(self):
+        plane = StatePlane(capacity=8)
+        platform = default_platform()
+        generation = GenerationConfig()
+        a = plane.taskset(platform, generation, 0.4, 7)
+        b = plane.taskset(platform, generation, 0.5, 7)
+        c = plane.taskset(platform, generation, 0.4, 8)
+        assert a is not b and a is not c
+
+    def test_lru_evicts_oldest(self):
+        plane = StatePlane(capacity=2)
+        platform = default_platform()
+        generation = GenerationConfig()
+        first = plane.taskset(platform, generation, 0.4, 1)
+        plane.taskset(platform, generation, 0.4, 2)
+        # Touch the first so seed 2 is the LRU victim of the next insert.
+        assert plane.taskset(platform, generation, 0.4, 1) is first
+        plane.taskset(platform, generation, 0.4, 3)
+        perf = PerfCounters()
+        assert plane.taskset(platform, generation, 0.4, 1, perf) is first
+        plane.taskset(platform, generation, 0.4, 2, perf)
+        assert perf.resident_table_hits == 1  # seed 1 survived
+        assert perf.resident_table_misses == 1  # seed 2 was evicted
+
+
+class TestChains:
+    def test_chain_is_resident_and_mutable(self):
+        plane = StatePlane(capacity=8)
+        chain = plane.chain(("scope",), 3)
+        chain[0] = "hint"
+        assert plane.chain(("scope",), 3) is chain
+        assert plane.chain(("scope",), 4) is not chain
+        assert plane.chain(("other",), 3) is not chain
+
+
+class TestCanonical:
+    def test_builder_runs_once_per_key(self):
+        plane = StatePlane(capacity=8)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return object()
+
+        perf = PerfCounters()
+        first = plane.canonical("digest", build, perf)
+        second = plane.canonical("digest", build, perf)
+        assert second is first
+        assert len(calls) == 1
+        assert (perf.resident_table_misses, perf.resident_table_hits) == (1, 1)
+
+
+class TestCapacity:
+    def test_zero_capacity_disables_residency(self):
+        plane = StatePlane(capacity=0)
+        platform = default_platform()
+        generation = GenerationConfig()
+        perf = PerfCounters()
+        plane.taskset(platform, generation, 0.4, 5, perf)
+        plane.taskset(platform, generation, 0.4, 5, perf)
+        assert perf.resident_table_hits == 0
+        assert perf.resident_table_misses == 2
+
+    def test_env_capacity(self, monkeypatch):
+        monkeypatch.setenv(STATE_PLANE_CAP_ENV, "3")
+        assert StatePlane().capacity == 3
+        monkeypatch.setenv(STATE_PLANE_CAP_ENV, "0")
+        assert StatePlane().capacity == 0
+        monkeypatch.setenv(STATE_PLANE_CAP_ENV, "-4")
+        assert StatePlane().capacity == 0
+        monkeypatch.setenv(STATE_PLANE_CAP_ENV, "not-a-number")
+        assert StatePlane().capacity == DEFAULT_CAPACITY
+        monkeypatch.delenv(STATE_PLANE_CAP_ENV)
+        assert StatePlane().capacity == DEFAULT_CAPACITY
+
+    def test_clear_drops_everything(self):
+        plane = StatePlane(capacity=8)
+        platform = default_platform()
+        generation = GenerationConfig()
+        resident = plane.taskset(platform, generation, 0.4, 5)
+        plane.chain("scope", 1)["x"] = 1
+        plane.canonical("key", lambda: "doc")
+        plane.clear()
+        perf = PerfCounters()
+        assert plane.taskset(platform, generation, 0.4, 5, perf) is not resident
+        assert perf.resident_table_misses == 1
+        assert plane.chain("scope", 1) == {}
+
+
+class TestResidentSingleton:
+    def test_process_global_plane_is_shared_and_resettable(self):
+        plane = resident_plane()
+        assert resident_plane() is plane
+        reset_resident_plane()
+        assert resident_plane() is not plane
+
+    def test_reset_rereads_capacity(self, monkeypatch):
+        monkeypatch.setenv(STATE_PLANE_CAP_ENV, "5")
+        reset_resident_plane()
+        assert resident_plane().capacity == 5

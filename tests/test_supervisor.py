@@ -94,6 +94,71 @@ class TestChunking:
         assert [item for chunk in chunks for item in chunk] == items
         assert all(chunks)
 
+    @pytest.mark.parametrize("samples", [1, 2, 7, 40, 100])
+    @pytest.mark.parametrize("jobs", [1, 2, 3, 8])
+    def test_guided_sizes_cover_everything_in_order(self, samples, jobs):
+        items = [
+            WorkItem(point, i, 0.5, point * 1000 + i)
+            for point in range(2)
+            for i in range(samples)
+        ]
+        chunks = chunked(items, jobs=jobs)
+        assert [item for chunk in chunks for item in chunk] == items
+        assert all(chunks)
+        # Chunks never span sweep points (prewarm and the lockstep batch
+        # rely on one-point chunks).
+        for chunk in chunks:
+            assert len({item.point for item in chunk}) == 1
+        # Within a point the guided sizes never grow head-to-tail.
+        for point in range(2):
+            sizes = [
+                len(chunk) for chunk in chunks if chunk[0].point == point
+            ]
+            assert sizes == sorted(sizes, reverse=True)
+
+
+class TestResidentWorkers:
+    def test_worker_counters_merge_across_processes(self):
+        # The lockstep/residency counters bump inside spawn workers and
+        # must surface in the parent's global aggregate (the transport is
+        # the pickled PerfCounters of each chunk result).
+        from repro.perf import global_counters, reset_global_counters
+
+        reset_global_counters()
+        # 16 samples per point: the guided chunk sizes start at 4, so the
+        # workers' lockstep batches hold several lanes each.
+        run_curve(default_platform(), VARIANTS, replace(SETTINGS, samples=16))
+        counters = global_counters()
+        assert counters.lockstep_batches > 0
+        assert counters.lane_retirements > 0
+        assert counters.resident_table_misses > 0
+
+    def test_forced_stealing_is_counted_and_invisible(self, clean, monkeypatch):
+        # One whole point per chunk with three workers: more idle slots
+        # than queued chunks from the first dispatch on, so the tail
+        # work-stealing split must fire — and the outcomes must still be
+        # bit-identical to the unfaulted reference sweep.
+        from repro.experiments import supervisor as supervisor_mod
+        from repro.perf import global_counters, reset_global_counters
+
+        def one_chunk_per_point(items, jobs):
+            chunks = []
+            for point in sorted({item.point for item in items}):
+                chunks.append(
+                    tuple(item for item in items if item.point == point)
+                )
+            return chunks
+
+        monkeypatch.setattr(supervisor_mod, "chunked", one_chunk_per_point)
+        reset_global_counters()
+        stolen = run_curve(
+            default_platform(), VARIANTS, replace(SETTINGS, jobs=3)
+        )
+        assert global_counters().chunks_stolen >= 1
+        assert not stolen.failures
+        for utilization in SETTINGS.utilizations:
+            assert stolen[utilization] == clean[utilization]
+
 
 class TestCrashRecovery:
     def test_poison_sample_is_quarantined_exactly(self, clean):
