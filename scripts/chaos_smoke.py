@@ -21,6 +21,16 @@ job):
    SIGKILLed (dead), idempotent requests fail over to the surviving
    shard with capped backoff; the router stays ready until *every*
    shard is gone, then degrades to a typed 503.
+6. **Overload storm** — a real daemon driven at 4x its admission cap
+   with mixed priority classes: every response is typed (no 5xx without
+   a ``shed``/``degraded`` marker), batch requests are shed first with a
+   jittered ``Retry-After``, admitted interactive requests answer within
+   their propagated deadline (many via the brownout coarse tier), and
+   ``/stats`` counts every shed and degraded outcome.
+7. **Deadline storm** — the HTTP-free service core under an injected
+   clock: expired-on-arrival requests are shed before the pool, near-zero
+   deadlines clamp to the minimum budget, and no admitted request ever
+   carries a budget exceeding its propagated deadline.
 
 Exits non-zero with a diagnostic on the first violated expectation.
 """
@@ -470,6 +480,302 @@ def router_scenario(workdir):
                 process.communicate(timeout=10)
 
 
+# -- scenario 6: overload storm ------------------------------------------------
+
+
+def overload_storm_scenario(workdir):
+    """Drive a real daemon at 4x its admission cap with mixed priorities.
+
+    Two ``inject: hang`` blockers pin the (single) pool worker and hold the
+    admission queue near its cap, then eight concurrent requests — four
+    interactive with a propagated deadline, four batch — storm the daemon.
+    Every outcome must be typed: batch work sheds first with a jittered
+    ``Retry-After``, admitted interactive work answers inside its deadline
+    (via the brownout coarse tier while the pool is pinned), and nothing
+    surfaces as an unmarked 5xx.
+    """
+    print("[6] overload storm", flush=True)
+    daemon, url = start_process([
+        sys.executable, "-m", "repro.service",
+        "--port", "0", "--workers", "1", "--max-in-flight", "4",
+        "--brownout-in-flight", "2", "--batch-max-in-flight", "2",
+        "--cache-dir", str(workdir / "overload-cache"),
+    ])
+    blockers = []
+    try:
+        # Pin the admission queue: cooperative hangs that self-abort via
+        # their own budget, so the drain at the end stays clean.
+        def block(index):
+            http(
+                "POST", f"{url}/analyze",
+                {
+                    "id": f"blocker-{index}",
+                    "taskset": envelope_for(seed=70 + index),
+                    "inject": "hang",
+                    "budget_seconds": 6,
+                },
+            )
+
+        blockers = [
+            threading.Thread(target=block, args=(index,)) for index in range(2)
+        ]
+        for thread in blockers:
+            thread.start()
+        deadline = time.monotonic() + 15
+        in_flight = 0
+        while time.monotonic() < deadline and in_flight < 2:
+            _status, stats = http("GET", f"{url}/stats")
+            in_flight = (stats or {}).get("in_flight", 0)
+            time.sleep(0.05)
+        expect(in_flight >= 2, "blockers occupy the admission queue")
+
+        results = {}
+
+        def fire(name, priority, seed):
+            begun = time.monotonic()
+            status, body = http(
+                "POST", f"{url}/analyze",
+                {
+                    "id": name,
+                    "taskset": envelope_for(seed=seed),
+                    "deadline_ms": 10_000,
+                    "priority": priority,
+                },
+            )
+            results[name] = (status, body, time.monotonic() - begun)
+
+        storm = [
+            threading.Thread(
+                target=fire, args=(f"interactive-{index}", "interactive", 80 + index)
+            )
+            for index in range(4)
+        ] + [
+            threading.Thread(
+                target=fire, args=(f"batch-{index}", "batch", 90 + index)
+            )
+            for index in range(4)
+        ]
+        for thread in storm:
+            thread.start()
+        for thread in storm:
+            thread.join(timeout=60)
+
+        expect(
+            len(results) == 8 and all(
+                status is not None for status, _body, _elapsed in results.values()
+            ),
+            "every storm request got an HTTP response",
+        )
+        brownouts = sheds = 0
+        for name, (status, body, elapsed) in sorted(results.items()):
+            expect(
+                status < 500 or body.get("shed") is True,
+                f"{name}: no untyped 5xx (got {status} {body.get('status')})",
+            )
+            if status == 200:
+                if body.get("brownout"):
+                    brownouts += 1
+            elif status == 429:
+                expect(
+                    body.get("retry_after", 0) > 0,
+                    f"{name}: 429 carries a jittered Retry-After",
+                )
+                if body.get("status") == "overload-shed":
+                    expect(
+                        body.get("shed") is True,
+                        f"{name}: overload shed is a typed marker",
+                    )
+                    sheds += 1
+            else:
+                raise SystemExit(
+                    f"chaos-smoke: FAILED: {name}: unexpected outcome "
+                    f"{status} {body}"
+                )
+            if name.startswith("interactive") and status == 200:
+                expect(
+                    elapsed < 10.0,
+                    f"{name}: admitted request answered inside its "
+                    f"10s deadline ({elapsed:.3f}s)",
+                )
+        expect(
+            brownouts >= 1,
+            f"overloaded daemon served degraded brownout answers "
+            f"({brownouts} of 8)",
+        )
+        expect(
+            sheds >= 1,
+            f"batch-priority requests were shed first ({sheds} of 4)",
+        )
+        for name, (status, body, _elapsed) in sorted(results.items()):
+            if body and body.get("brownout"):
+                degraded = body.get("degraded") or {}
+                expect(
+                    degraded.get("tier") == "coarse"
+                    and degraded.get("soundness") in ("degraded-sound", "unknown"),
+                    f"{name}: brownout answer carries the typed degradation "
+                    f"marker ({degraded})",
+                )
+                break
+
+        _status, stats = http("GET", f"{url}/stats")
+        requests_stats = stats["requests"]
+        perf = stats["perf"]
+        expect(
+            requests_stats["shed_overload"] >= sheds
+            and requests_stats["brownout_served"] >= brownouts
+            and requests_stats["degraded"] >= brownouts,
+            f"/stats counts every shed and degraded outcome "
+            f"({requests_stats})",
+        )
+        expect(
+            perf["shed_requests"] >= sheds
+            and perf["degraded_responses"] >= brownouts
+            and perf["ladder_tier_runs"] >= brownouts,
+            f"perf counters track the degradation ladder ({perf})",
+        )
+        expect(
+            stats["overload"]["brownout_threshold"] == 2
+            and stats["overload"]["batch_cap"] == 2,
+            "/stats exposes the overload-control configuration",
+        )
+    finally:
+        for thread in blockers:
+            thread.join(timeout=30)
+        stop(daemon, expect_code=0)
+
+
+# -- scenario 7: deadline storm ------------------------------------------------
+
+
+def deadline_storm_scenario():
+    """The HTTP-free service core under an injected clock.
+
+    Deterministic replay of the deadline admission ladder: expired-on-arrival
+    requests are shed with a typed 504 before any pool round-trip, near-zero
+    remainders clamp to the minimum budget, and no admitted request carries
+    a budget exceeding its propagated deadline.
+    """
+    print("[7] deadline storm (injected clock)", flush=True)
+    from repro.service.daemon import AnalysisService, ServiceConfig
+    from repro.service.pool import service_worker
+
+    class Clock:
+        def __init__(self):
+            self.now = 100.0
+
+        def __call__(self):
+            return self.now
+
+    class SpyPool:
+        """In-process pool recording every admitted document."""
+
+        def __init__(self):
+            self.documents = []
+
+        def run(self, document):
+            self.documents.append(document)
+            return service_worker(document)
+
+        def allowance_for(self, budget_seconds):
+            return None
+
+        def close(self):
+            pass
+
+    clock = Clock()
+    pool = SpyPool()
+    service = AnalysisService(
+        ServiceConfig(max_in_flight=8),
+        pool=pool,
+        clock=clock,
+        rng=random.Random(0),
+    )
+    safety_seconds = service.config.deadline_safety_ms / 1000.0
+    floor = service.config.min_budget_seconds
+    try:
+        envelope = envelope_for(seed=61)
+        status, body = service.handle(
+            {"id": "expired", "taskset": envelope, "deadline_ms": 20}
+        )
+        expect(
+            status == 504
+            and body.get("shed") is True
+            and body["status"] == "deadline-expired",
+            "expired-on-arrival request is shed with a typed 504",
+        )
+        expect(not pool.documents, "the shed request never reached the pool")
+
+        status, body = service.handle(
+            {"id": "tight", "taskset": envelope, "deadline_ms": 30}
+        )
+        expect(status == 200, "near-zero deadline request is admitted")
+        expect(
+            abs(pool.documents[-1]["budget_seconds"] - floor) < 1e-9,
+            f"near-zero deadline clamps to the {floor:g}s budget floor",
+        )
+
+        shed = served = 0
+        for index, deadline_ms in enumerate((5, 10, 24, 26, 40, 100, 1_000, 10_000)):
+            clock.now += 0.001
+            admitted_before = len(pool.documents)
+            status, body = service.handle(
+                {
+                    "id": f"storm-{index}",
+                    "taskset": envelope_for(seed=62 + index),
+                    "deadline_ms": deadline_ms,
+                }
+            )
+            if status == 504:
+                expect(
+                    body.get("shed") is True,
+                    f"deadline_ms={deadline_ms}: rejected deadline is a "
+                    f"typed shed",
+                )
+                expect(
+                    len(pool.documents) == admitted_before,
+                    f"deadline_ms={deadline_ms}: shed without a pool "
+                    f"round-trip",
+                )
+                shed += 1
+            else:
+                expect(
+                    status == 200,
+                    f"deadline_ms={deadline_ms}: admitted request completes "
+                    f"typed (got {status})",
+                )
+                document = pool.documents[-1]
+                allowed = max(deadline_ms / 1000.0 - safety_seconds, floor)
+                expect(
+                    document["budget_seconds"] <= allowed + 1e-9,
+                    f"deadline_ms={deadline_ms}: budget "
+                    f"{document['budget_seconds']:.3f}s never exceeds the "
+                    f"propagated deadline",
+                )
+                expect(
+                    document["deadline_ms"] <= deadline_ms,
+                    f"deadline_ms={deadline_ms}: forwarded deadline is "
+                    f"decremented, never inflated",
+                )
+                served += 1
+        expect(
+            shed >= 2 and served >= 4,
+            f"the storm exercised both ladder arms ({shed} shed, "
+            f"{served} served)",
+        )
+        stats = service.stats_document()
+        expect(
+            stats["requests"]["shed_expired"] == shed + 1,
+            "every expiry is counted exactly once",
+        )
+        expect(
+            stats["perf"]["deadline_expired_rejects"] == shed + 1
+            and stats["perf"]["shed_requests"] >= shed + 1,
+            "perf counters match the shed tally",
+        )
+    finally:
+        service.close()
+
+
 def main():
     workdir = pathlib.Path("/tmp") / f"repro-chaos-{os.getpid()}"
     shutil.rmtree(workdir, ignore_errors=True)
@@ -487,6 +793,8 @@ def main():
         )
         coalesce_scenario(cache_dir)
         router_scenario(workdir)
+        overload_storm_scenario(workdir)
+        deadline_storm_scenario()
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     print("chaos-smoke: all scenarios passed", flush=True)

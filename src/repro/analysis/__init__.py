@@ -6,6 +6,13 @@ from repro.analysis.decomposition import (
     decompose,
     decompose_taskset,
 )
+from repro.analysis.ladder import (
+    AnalysisLadder,
+    LadderResult,
+    LadderTier,
+    coarse_bound,
+    run_ladder,
+)
 from repro.analysis.lockstep import LaneOutcome, analyze_taskset_batch
 from repro.analysis.sensitivity import breakdown_d_mem, breakdown_period_scale
 from repro.analysis.schedulability import (
@@ -30,6 +37,11 @@ __all__ = [
     "check_schedulability",
     "check_schedulability_batch",
     "is_schedulable",
+    "AnalysisLadder",
+    "LadderResult",
+    "LadderTier",
+    "coarse_bound",
+    "run_ladder",
     "LaneOutcome",
     "WcrtResult",
     "analyze_taskset",

@@ -127,6 +127,10 @@ class Budget:
         self.iterations = 0
         self._checks_until_clock = 0
         self._started_at: Optional[float] = None
+        #: Parent budget this one was sliced from (see :meth:`child`).
+        #: Child ticks charge the parent too, so a slice can never spend
+        #: resources the enclosing request does not have.
+        self._parent: Optional["Budget"] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -140,6 +144,65 @@ class Budget:
     def started(self) -> bool:
         """Whether :meth:`start` has been called."""
         return self._started_at is not None
+
+    def child(
+        self, fraction: float, min_seconds: Optional[float] = None
+    ) -> "Budget":
+        """Slice off a child budget covering ``fraction`` of what is left.
+
+        The degradation ladder (:mod:`repro.analysis.ladder`) gives each
+        tier a slice of the request's remaining budget so an expensive
+        tier cannot starve the cheaper fallbacks behind it.  Guarantees:
+
+        * A child can never exceed its parent: its wall allowance is
+          capped at the parent's *remaining* seconds (``min_seconds``, a
+          floor for admitted-but-nearly-expired requests, is likewise
+          capped), its iteration ceiling at the parent's remaining ticks,
+          and every child tick also charges the parent — so the parent's
+          own limits fire inside the child the moment they are reached.
+        * The cancel token, clock and stride are shared, so cancellation
+          and injected test clocks behave identically at every depth.
+        * An unlimited parent dimension stays unlimited in the child.
+
+        The child is returned already started (its wall deadline is
+        anchored at the slice point).  Raises
+        :class:`~repro.errors.BudgetExceeded` when the parent is already
+        exhausted — there is nothing left to slice.
+        """
+        if not 0 < fraction <= 1:
+            raise AnalysisError(
+                f"child fraction must be in (0, 1], got {fraction}"
+            )
+        self.start()
+        remaining = self.remaining()
+        wall: Optional[float] = None
+        if remaining is not None:
+            if remaining <= 0:
+                raise BudgetExceeded(
+                    f"cannot slice a child budget: parent exhausted its "
+                    f"{self.wall_seconds}s wall-clock allowance"
+                )
+            wall = remaining * fraction
+            if min_seconds is not None:
+                wall = max(wall, min(min_seconds, remaining))
+        ceiling: Optional[int] = None
+        if self.max_iterations is not None:
+            left = self.max_iterations - self.iterations
+            if left <= 0:
+                raise BudgetExceeded(
+                    f"cannot slice a child budget: parent exhausted its "
+                    f"iteration ceiling of {self.max_iterations}"
+                )
+            ceiling = max(1, int(left * fraction))
+        child = Budget(
+            wall_seconds=wall,
+            max_iterations=ceiling,
+            token=self.token,
+            clock=self._clock,
+            wall_check_stride=self._stride,
+        )
+        child._parent = self
+        return child.start()
 
     def elapsed(self) -> float:
         """Seconds since :meth:`start` (0.0 if never started)."""
@@ -164,6 +227,8 @@ class Budget:
         or (every ``wall_check_stride`` ticks) the wall-clock deadline is
         exceeded.  Never mutates anything an analysis result depends on.
         """
+        if self._parent is not None:
+            self._parent.tick(count)
         self.iterations += count
         if (
             self.max_iterations is not None
@@ -185,6 +250,8 @@ class Budget:
         decomposition, the CPRO/CRPD window folds) where iteration counts
         would not be comparable across kernel variants.
         """
+        if self._parent is not None:
+            self._parent.check()
         token = self.token
         if token is not None and token.cancelled:
             raise Cancelled(

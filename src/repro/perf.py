@@ -122,6 +122,23 @@ class PerfCounters:
     #: Requests that joined an identical in-flight computation instead of
     #: running their own analysis (see the service daemon's coalescing).
     coalesced_requests: int = 0
+    #: Requests shed before running any analysis: expired on arrival,
+    #: or dropped at admission by the priority-class overload policy.
+    shed_requests: int = 0
+    #: Responses produced by a degraded ladder tier (baseline or coarse)
+    #: instead of the exact configuration — including brownout answers.
+    degraded_responses: int = 0
+    #: Ladder tier executions, one per attempted tier (exact, baseline
+    #: and coarse all count; see :mod:`repro.analysis.ladder`).
+    ladder_tier_runs: int = 0
+    #: Requests rejected because their propagated deadline had already
+    #: expired on arrival (service side) or before a retry (router side).
+    deadline_expired_rejects: int = 0
+    #: Hedge requests the router issued for idempotent analyses after the
+    #: measured-p95 delay elapsed without a primary response.
+    hedges_sent: int = 0
+    #: Hedged forwards where the hedge answered before the primary.
+    hedges_won: int = 0
     #: Requests the shard router forwarded to a backend successfully.
     router_forwards: int = 0
     #: Forward attempts retried after a dead, not-ready or timed-out shard.
@@ -278,6 +295,21 @@ class PerfCounters:
         if self.coalesced_requests:
             lines.append(
                 f"  coalesced         {self.coalesced_requests:>12d}"
+            )
+        if self.shed_requests or self.deadline_expired_rejects:
+            lines.append(
+                f"  shed requests     {self.shed_requests:>12d}   "
+                f"deadline expired {self.deadline_expired_rejects:>10d}"
+            )
+        if self.degraded_responses or self.ladder_tier_runs:
+            lines.append(
+                f"  degraded answers  {self.degraded_responses:>12d}   "
+                f"ladder tier runs {self.ladder_tier_runs:>10d}"
+            )
+        if self.hedges_sent:
+            lines.append(
+                f"  hedges sent       {self.hedges_sent:>12d}   "
+                f"hedges won       {self.hedges_won:>10d}"
             )
         if self.router_forwards or self.router_retries:
             lines.append(

@@ -15,6 +15,16 @@ failure mode the resilience layer knows about:
   :class:`~repro.perf.PerfCounters`,
 * SIGTERM graceful drain that finishes or quarantines in-flight requests
   before exiting 0,
+* end-to-end deadline propagation (``deadline_ms`` in the body or the
+  ``X-Deadline-Ms`` header): each hop subtracts its elapsed time plus a
+  safety margin, expired requests are shed with a typed 504 before they
+  touch the pool, and admitted ones run under a deadline-derived budget,
+* a graceful-degradation ladder (:mod:`repro.analysis.ladder`) behind
+  ``degrade``/``deadline_ms``: exact -> baseline -> coarse, each tier on
+  a slice of the request budget, plus a daemon-side brownout mode that
+  answers from the coarse tier when the queue or breaker indicates
+  overload, and priority classes (``interactive``/``batch``) shed
+  lowest-first at admission,
 * an optional persistent content-addressed result cache with warm-start
   seeds (:mod:`repro.resultcache`) and coalescing of identical
   concurrent requests onto one computation,
@@ -32,9 +42,12 @@ from repro.service.daemon import AnalysisService, ServiceConfig, serve
 from repro.service.pool import AnalysisPool, service_worker
 from repro.service.protocol import (
     AnalysisRequest,
+    PRIORITIES,
     PROTOCOL_VERSION,
+    degraded_response,
     error_response,
     parse_request,
+    shed_response,
 )
 from repro.service.router import RouterConfig, ShardRouter, serve_router
 
@@ -43,12 +56,15 @@ __all__ = [
     "AnalysisRequest",
     "AnalysisService",
     "CircuitBreaker",
+    "PRIORITIES",
     "PROTOCOL_VERSION",
     "RouterConfig",
     "ServiceConfig",
     "ShardRouter",
+    "degraded_response",
     "error_response",
     "parse_request",
+    "shed_response",
     "serve",
     "serve_router",
     "service_worker",

@@ -103,6 +103,45 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable coalescing of identical concurrent requests",
     )
+    parser.add_argument(
+        "--deadline-safety-ms",
+        type=float,
+        default=25.0,
+        metavar="MS",
+        help="safety margin subtracted from a request's remaining "
+        "deadline_ms on arrival",
+    )
+    parser.add_argument(
+        "--min-budget",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="floor of the deadline-derived analysis budget for admitted "
+        "requests",
+    )
+    parser.add_argument(
+        "--brownout-in-flight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-flight count at which brownout (cache + coarse tier "
+        "only) engages (default: --max-in-flight)",
+    )
+    parser.add_argument(
+        "--batch-max-in-flight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission cap of batch-priority requests (default: half of "
+        "--max-in-flight)",
+    )
+    parser.add_argument(
+        "--retry-after-base",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="base of the jittered, load-derived Retry-After on 429",
+    )
     return parser
 
 
@@ -123,6 +162,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_max_entries=args.cache_max_entries,
             cache_max_bytes=args.cache_max_bytes,
             coalesce=not args.no_coalesce,
+            deadline_safety_ms=args.deadline_safety_ms,
+            min_budget_seconds=args.min_budget,
+            brownout_in_flight=args.brownout_in_flight,
+            batch_max_in_flight=args.batch_max_in_flight,
+            retry_after_base=args.retry_after_base,
         )
     except AnalysisError as error:
         print(f"repro-service: error: {error}", file=sys.stderr)

@@ -35,6 +35,7 @@ from __future__ import annotations
 import itertools
 import json
 import math
+import random
 import signal
 import sys
 import threading
@@ -42,9 +43,12 @@ import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.ladder import SOUND_DEGRADED, TIER_COARSE, coarse_bound
+from repro.budget import Budget
 from repro.errors import (
+    AnalysisAborted,
     AnalysisError,
     ChunkTimeoutError,
     ModelError,
@@ -61,8 +65,11 @@ from repro.service.breaker import CircuitBreaker, OPEN
 from repro.service.pool import AnalysisPool
 from repro.service.protocol import (
     AnalysisRequest,
+    abort_response,
+    degraded_response,
     error_response,
     parse_request,
+    shed_response,
 )
 
 #: Extra wait a coalesced request grants the leading computation beyond
@@ -98,6 +105,25 @@ class ServiceConfig:
     cache_max_bytes: Optional[int] = None
     #: Coalesce identical concurrent requests onto one computation.
     coalesce: bool = True
+    #: Safety margin (milliseconds) this hop subtracts from a request's
+    #: remaining ``deadline_ms`` before handing it on, covering its own
+    #: serialisation and scheduling overhead.
+    deadline_safety_ms: float = 25.0
+    #: Floor for the deadline-derived analysis budget: a request admitted
+    #: with almost no deadline left still gets this many seconds (the
+    #: alternative — a zero budget — could not even return its typed
+    #: abort).  Requests whose deadline already expired are shed instead.
+    min_budget_seconds: float = 0.05
+    #: In-flight count at which brownout mode engages (cache hits and the
+    #: coarse ladder tier only; the pool is left to drain).  ``None``
+    #: defaults to ``max_in_flight`` — the last admission slot browns out.
+    brownout_in_flight: Optional[int] = None
+    #: Admission cap for ``"batch"``-priority requests; under load they
+    #: are shed before any ``"interactive"`` request is.  ``None``
+    #: defaults to half of ``max_in_flight`` (at least 1).
+    batch_max_in_flight: Optional[int] = None
+    #: Base of the jittered, load-derived ``Retry-After`` on 429 replies.
+    retry_after_base: float = 1.0
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -142,6 +168,48 @@ class ServiceConfig:
                 f"cache_max_bytes must be >= 1 (or None for unbounded), "
                 f"got {self.cache_max_bytes}"
             )
+        if self.deadline_safety_ms < 0:
+            raise AnalysisError(
+                f"deadline_safety_ms must be non-negative, "
+                f"got {self.deadline_safety_ms}"
+            )
+        if self.min_budget_seconds <= 0:
+            raise AnalysisError(
+                f"min_budget_seconds must be positive, "
+                f"got {self.min_budget_seconds}"
+            )
+        if self.brownout_in_flight is not None and self.brownout_in_flight < 1:
+            raise AnalysisError(
+                f"brownout_in_flight must be >= 1 (or None for the "
+                f"default), got {self.brownout_in_flight}"
+            )
+        if (
+            self.batch_max_in_flight is not None
+            and self.batch_max_in_flight < 1
+        ):
+            raise AnalysisError(
+                f"batch_max_in_flight must be >= 1 (or None for the "
+                f"default), got {self.batch_max_in_flight}"
+            )
+        if self.retry_after_base <= 0:
+            raise AnalysisError(
+                f"retry_after_base must be positive, "
+                f"got {self.retry_after_base}"
+            )
+
+    @property
+    def brownout_threshold(self) -> int:
+        """Effective in-flight count at which brownout engages."""
+        if self.brownout_in_flight is not None:
+            return self.brownout_in_flight
+        return self.max_in_flight
+
+    @property
+    def batch_cap(self) -> int:
+        """Effective admission cap of ``"batch"``-priority requests."""
+        if self.batch_max_in_flight is not None:
+            return self.batch_max_in_flight
+        return max(1, self.max_in_flight // 2)
 
 
 @dataclass
@@ -159,6 +227,14 @@ class ServiceStats:
     rejected_draining: int = 0
     worker_crashes: int = 0
     watchdog_kills: int = 0
+    #: Requests shed because their propagated deadline expired on arrival.
+    shed_expired: int = 0
+    #: ``batch``-priority requests shed by the overload policy.
+    shed_overload: int = 0
+    #: 200 answers produced by a degraded ladder tier (pool or brownout).
+    degraded: int = 0
+    #: Degraded answers served by the daemon-side brownout coarse tier.
+    brownout_served: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -197,8 +273,17 @@ class AnalysisService:
         config: ServiceConfig = ServiceConfig(),
         pool: Optional[AnalysisPool] = None,
         breaker: Optional[CircuitBreaker] = None,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.config = config
+        #: Monotonic time source for deadline accounting; injectable so
+        #: tests (and the chaos deadline-storm scenario) drive expiry
+        #: deterministically.
+        self._clock = clock
+        #: Jitter source of the load-derived ``Retry-After``; injectable
+        #: for deterministic tests.
+        self._rng = rng or random.Random()
         self.pool = pool or AnalysisPool(
             workers=config.workers, default_watchdog=config.default_watchdog
         )
@@ -235,8 +320,31 @@ class AnalysisService:
 
     # -- request handling ----------------------------------------------------
 
+    def _retry_after(self, load: float) -> float:
+        """Jittered, load-derived Retry-After seconds (call under lock).
+
+        Scales with the admission queue's fill ratio so a saturated
+        daemon pushes clients further away, and jitters uniformly over
+        [0.5, 1.5)x so synchronized clients do not stampede back in one
+        wave.  Deterministic in tests via the injected ``rng``.
+        """
+        base = self.config.retry_after_base
+        return round(base * (0.5 + load) * (0.5 + self._rng.random()), 3)
+
     def handle(self, document) -> Tuple[int, Dict]:
-        """Process one raw request document; returns (HTTP status, body)."""
+        """Process one raw request document; returns (HTTP status, body).
+
+        Order of the admission ladder (each step is a typed, counted
+        outcome — nothing is dropped silently):
+
+        1. draining -> 503
+        2. validation -> 400
+        3. deadline expired on arrival -> 504 (shed before the pool)
+        4. batch-priority overload shed -> 429 (lowest class first)
+        5. admission queue full -> 429
+        6. admitted: deadline-derived budget, optional brownout, pool
+        """
+        arrival = self._clock()
         if self._draining.is_set():
             with self._lock:
                 self.stats.rejected_draining += 1
@@ -259,8 +367,58 @@ class AnalysisService:
             and self.config.default_budget is not None
         ):
             effective["budget_seconds"] = self.config.default_budget
+        safety = self.config.deadline_safety_ms / 1000.0
+        if request.deadline_ms is not None:
+            # This hop's elapsed time plus the safety margin comes off the
+            # caller's remaining deadline; an already-expired request is
+            # shed here, before it can touch the admission queue or pool.
+            remaining = (
+                request.deadline_ms / 1000.0
+                - (self._clock() - arrival)
+                - safety
+            )
+            if remaining <= 0:
+                with self._lock:
+                    self.stats.shed_expired += 1
+                    self.perf.shed_requests += 1
+                    self.perf.deadline_expired_rejects += 1
+                return 504, shed_response(
+                    request.request_id,
+                    "deadline-expired",
+                    f"deadline_ms={request.deadline_ms:g} already expired "
+                    f"on arrival (safety margin "
+                    f"{self.config.deadline_safety_ms:g}ms)",
+                )
+            # Near-zero remainders are clamped to the minimum budget: an
+            # admitted request must at least be able to return its typed
+            # abort.  The caller's own budget, if tighter, still wins.
+            deadline_budget = max(remaining, self.config.min_budget_seconds)
+            current = effective.get("budget_seconds")
+            effective["budget_seconds"] = (
+                deadline_budget
+                if current is None
+                else min(current, deadline_budget)
+            )
+            effective["deadline_ms"] = remaining * 1000.0
         with self._lock:
-            if len(self._active) >= self.config.max_in_flight:
+            in_flight = len(self._active)
+            if (
+                request.priority == "batch"
+                and in_flight >= self.config.batch_cap
+            ):
+                self.stats.shed_overload += 1
+                self.perf.shed_requests += 1
+                return 429, shed_response(
+                    request.request_id,
+                    "overload-shed",
+                    f"batch-priority admission cap reached "
+                    f"({self.config.batch_cap} in flight); "
+                    f"interactive requests are still admitted",
+                    retry_after=self._retry_after(
+                        in_flight / self.config.max_in_flight
+                    ),
+                )
+            if in_flight >= self.config.max_in_flight:
                 self.stats.rejected_busy += 1
                 return 429, {
                     "status": "busy",
@@ -269,18 +427,42 @@ class AnalysisService:
                         f"admission queue full "
                         f"({self.config.max_in_flight} in flight)"
                     ),
-                    "retry_after": 1,
+                    "retry_after": self._retry_after(
+                        in_flight / self.config.max_in_flight
+                    ),
                 }
             token = next(self._tokens)
             self._active[token] = request.request_id
             self.stats.accepted += 1
+            # Brownout only applies to requests that accept degraded
+            # answers (explicit ``degrade`` or a propagated deadline);
+            # everything else keeps the exact pre-pressure semantics,
+            # including the 503 a tripped breaker would return.
+            degradable = (
+                request.degrade
+                if request.degrade is not None
+                else request.deadline_ms is not None
+            )
+            brownout = (
+                request.inject is None
+                and degradable
+                and (
+                    len(self._active) >= self.config.brownout_threshold
+                    or self.breaker.state == OPEN
+                )
+            )
         try:
-            return self._execute(request, effective)
+            return self._execute(request, effective, brownout=brownout)
         finally:
             with self._lock:
                 self._active.pop(token, None)
 
-    def _execute(self, request: AnalysisRequest, document: Dict) -> Tuple[int, Dict]:
+    def _execute(
+        self,
+        request: AnalysisRequest,
+        document: Dict,
+        brownout: bool = False,
+    ) -> Tuple[int, Dict]:
         """Cache, coalesce and run one admitted request."""
         request_id = request.request_id
         fingerprint = None
@@ -300,6 +482,12 @@ class AnalysisService:
                 with self._lock:
                     self.stats.completed += 1
                 return 200, dict(payload, id=request_id, cache="hit")
+        if brownout:
+            # Overload (queue nearly full or breaker open): answer from
+            # the coarse ladder tier on this thread instead of queueing
+            # on the pool — cheap, sound, typed.  Cache hits above still
+            # serve exact results; inject faults never get here.
+            return self._brownout(request, document)
         flight: Optional[_Flight] = None
         if fingerprint is not None and self.config.coalesce:
             with self._lock:
@@ -337,7 +525,11 @@ class AnalysisService:
                 fingerprint is not None
                 and status == 200
                 and body.get("status") == "ok"
+                and "degraded" not in body
             ):
+                # Degraded bodies never enter the stores: the fingerprint
+                # names the *exact* result, and a looser-but-sound bound
+                # must not be replayed as it once the pressure is gone.
                 # Only completed results are durable; the store's own
                 # validator additionally refuses anything else, so aborted
                 # partials can never poison the cache.
@@ -352,6 +544,68 @@ class AnalysisService:
                     seed = seed_payload_from_response(request.taskset, body)
                     if seed is not None:
                         self.seeds.put(fingerprint, seed)
+
+    def _brownout(
+        self, request: AnalysisRequest, document: Dict
+    ) -> Tuple[int, Dict]:
+        """Serve one admitted request from the coarse tier, pool-free.
+
+        Brownout mode answers on the handler thread with the ladder's
+        cheapest rung (one inner fixed point per task) instead of queueing
+        on a saturated or breaker-tripped pool.  The answer is typed: a
+        ``degraded`` marker naming the coarse tier plus ``brownout: true``
+        so clients and the chaos harness can tell it from a pool answer.
+        """
+        request_id = request.request_id
+        local = PerfCounters()
+        budget: Optional[Budget] = None
+        budget_seconds = document.get("budget_seconds")
+        max_iterations = document.get("max_iterations")
+        if budget_seconds is not None or max_iterations is not None:
+            budget = Budget(
+                wall_seconds=budget_seconds,
+                max_iterations=max_iterations,
+                clock=self._clock,
+            )
+        try:
+            result = coarse_bound(
+                request.taskset,
+                request.platform,
+                request.config,
+                perf=local,
+                budget=budget,
+            )
+        except AnalysisAborted as abort:
+            body = abort_response(request_id, abort)
+            body["degraded"] = {
+                "tier": None,
+                "soundness": "unknown",
+                "tiers_tried": [TIER_COARSE],
+            }
+            body["brownout"] = True
+            with self._lock:
+                self.perf.merge(local)
+                self.perf.ladder_tier_runs += 1
+                self.stats.budget_aborted += 1
+            self._quarantine(request_id, "budget-exceeded")
+            return 200, body
+        except Exception as error:  # noqa: BLE001 — typed 500, never a hang
+            with self._lock:
+                self.perf.merge(local)
+                self.stats.analysis_errors += 1
+            return 500, error_response(request_id, error)
+        body = degraded_response(
+            request_id, result, TIER_COARSE, SOUND_DEGRADED, (TIER_COARSE,)
+        )
+        body["brownout"] = True
+        with self._lock:
+            self.perf.merge(local)
+            self.perf.ladder_tier_runs += 1
+            self.perf.degraded_responses += 1
+            self.stats.completed += 1
+            self.stats.degraded += 1
+            self.stats.brownout_served += 1
+        return 200, body
 
     def _await_flight(
         self, request_id: str, document: Dict, flight: _Flight
@@ -393,6 +647,9 @@ class AnalysisService:
         if not self.breaker.allow():
             with self._lock:
                 self.stats.rejected_breaker += 1
+                retry_after = round(
+                    self.breaker.reset_seconds * (0.5 + self._rng.random()), 3
+                )
             return 503, {
                 "status": "breaker-open",
                 "id": request_id,
@@ -400,7 +657,7 @@ class AnalysisService:
                     "worker pool circuit breaker is open after repeated "
                     "crashes; retry after the cool-down"
                 ),
-                "retry_after": self.breaker.reset_seconds,
+                "retry_after": retry_after,
             }
         try:
             response, perf = self.pool.run(document)
@@ -421,6 +678,8 @@ class AnalysisService:
             status = response.get("status")
             if status == "ok":
                 self.stats.completed += 1
+                if "degraded" in response:
+                    self.stats.degraded += 1
             elif status == "budget-exceeded":
                 self.stats.budget_aborted += 1
             elif status == "cancelled":
@@ -490,6 +749,13 @@ class AnalysisService:
                 "requests": self.stats.to_dict(),
                 "in_flight": len(self._active),
                 "draining": self._draining.is_set(),
+                "overload": {
+                    "max_in_flight": self.config.max_in_flight,
+                    "brownout_threshold": self.config.brownout_threshold,
+                    "batch_cap": self.config.batch_cap,
+                    "deadline_safety_ms": self.config.deadline_safety_ms,
+                    "min_budget_seconds": self.config.min_budget_seconds,
+                },
                 "breaker": {
                     "state": self.breaker.state,
                     "trips": self.breaker.trips,
@@ -581,6 +847,29 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as error:
             self._send(400, error_response("", ModelError(f"bad JSON: {error}")))
             return
+        if isinstance(document, dict) and "requests" not in document:
+            # Transport-level deadline/priority: proxies that cannot edit
+            # the body (or callers fronted by one) may send the end-to-end
+            # deadline and priority class as headers; body fields win.
+            deadline = self.headers.get("X-Deadline-Ms")
+            if deadline is not None and "deadline_ms" not in document:
+                try:
+                    document["deadline_ms"] = float(deadline)
+                except ValueError:
+                    self._send(
+                        400,
+                        error_response(
+                            document.get("id", ""),
+                            AnalysisError(
+                                f"X-Deadline-Ms must be a number of "
+                                f"milliseconds, got {deadline!r}"
+                            ),
+                        ),
+                    )
+                    return
+            priority = self.headers.get("X-Priority")
+            if priority is not None and "priority" not in document:
+                document["priority"] = priority
         if isinstance(document, dict) and "requests" in document:
             self._send(*self.service.handle_batch(document["requests"]))
         else:

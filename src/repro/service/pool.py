@@ -31,15 +31,26 @@ from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Dict, Optional, Tuple
 
+from repro.analysis.ladder import (
+    SOUND_UNKNOWN,
+    TIER_EXACT,
+    run_ladder,
+)
 from repro.analysis.wcrt import WarmHint, analyze_taskset
 from repro.budget import Budget
-from repro.errors import AnalysisAborted, ChunkTimeoutError, WorkerCrashError
+from repro.errors import (
+    AnalysisAborted,
+    BudgetExceeded,
+    ChunkTimeoutError,
+    WorkerCrashError,
+)
 from repro.experiments.stateplane import resident_plane
 from repro.perf import PerfCounters
 from repro.resultcache import hint_from_seed
 from repro.serialization import canonical_json
 from repro.service.protocol import (
     abort_response,
+    degraded_response,
     error_response,
     ok_response,
     parse_request,
@@ -121,6 +132,55 @@ def service_worker(document: Dict) -> Tuple[Dict, PerfCounters]:
             )
         except Exception:  # noqa: BLE001 — residency must never hurt
             taskset = request.taskset
+        # The degradation ladder engages when the daemon (or the caller)
+        # asked for it and there is a budget to degrade under; without
+        # pressure the exact path runs exactly as before, bit for bit.
+        use_ladder = (
+            budget is not None
+            and (
+                request.degrade
+                if request.degrade is not None
+                else request.deadline_ms is not None
+            )
+        )
+        if use_ladder:
+            outcome = run_ladder(
+                taskset,
+                request.platform,
+                request.config,
+                budget=budget,
+                perf=perf,
+                warm_hint=warm_hint,
+            )
+            if outcome.soundness != SOUND_UNKNOWN:
+                if outcome.tier == TIER_EXACT:
+                    return ok_response(request.request_id, outcome.result), perf
+                perf.degraded_responses += 1
+                return (
+                    degraded_response(
+                        request.request_id,
+                        outcome.result,
+                        outcome.tier,
+                        outcome.soundness,
+                        outcome.tiers_tried,
+                    ),
+                    perf,
+                )
+            abort = outcome.abort
+            if abort is None:  # pragma: no cover - defensive
+                abort = BudgetExceeded(
+                    "analysis budget exhausted before any ladder tier "
+                    "completed"
+                )
+                abort.iterations = budget.iterations
+                abort.elapsed = budget.elapsed()
+            body = abort_response(request.request_id, abort)
+            body["degraded"] = {
+                "tier": None,
+                "soundness": SOUND_UNKNOWN,
+                "tiers_tried": list(outcome.tiers_tried),
+            }
+            return body, perf
         result = analyze_taskset(
             taskset,
             request.platform,

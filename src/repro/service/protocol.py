@@ -8,7 +8,15 @@ One request analyses one task set::
                                            # (see repro.serialization)
       "config": {"persistence": true},     # optional AnalysisConfig fields
       "budget_seconds": 2.0,               # optional per-request deadline
-      "max_iterations": 100000             # optional iteration ceiling
+      "max_iterations": 100000,            # optional iteration ceiling
+      "deadline_ms": 1500,                 # optional end-to-end deadline:
+                                           # remaining milliseconds the
+                                           # caller will still wait
+      "priority": "interactive",           # "interactive" (default) or
+                                           # "batch"; batch sheds first
+      "degrade": true                      # opt in/out of the degradation
+                                           # ladder (default: on iff a
+                                           # deadline_ms is present)
     }
 
 Validation maps onto the library's error taxonomy: structurally malformed
@@ -21,8 +29,12 @@ HTTP 400 with a typed body.
 Responses always carry ``id``, ``status`` and the protocol ``version``.
 ``status`` is one of ``"ok"`` (with the WCRT verdict),
 ``"budget-exceeded"`` / ``"cancelled"`` (with the partial estimates,
-iterations spent and elapsed seconds) or ``"error"`` (with the error class
-and message).
+iterations spent and elapsed seconds), ``"error"`` (with the error class
+and message), or one of the typed shed markers ``"deadline-expired"`` /
+``"overload-shed"`` (with ``"shed": true``).  An ``"ok"`` answer produced
+by a degraded ladder tier additionally carries a ``"degraded"`` object
+naming the tier, its soundness class and the tiers tried — see
+:mod:`repro.analysis.ladder` and :func:`degraded_response`.
 
 The test-only ``inject`` field (``"hang"`` spins cooperatively inside the
 request's budget; ``"crash"`` kills the worker process) exists so the
@@ -54,6 +66,10 @@ PROTOCOL_VERSION = 1
 #: Test-only fault injections a request may carry.
 INJECT_KINDS = ("hang", "crash")
 
+#: Priority classes, highest first.  Under overload the daemon sheds the
+#: lowest class first at admission.
+PRIORITIES = ("interactive", "batch")
+
 _TASKSET_TAG = "repro-taskset"
 
 #: AnalysisConfig fields settable through the wire protocol, with their
@@ -82,6 +98,15 @@ class AnalysisRequest:
     budget_seconds: Optional[float] = None
     max_iterations: Optional[int] = None
     inject: Optional[str] = None
+    #: Remaining end-to-end deadline in milliseconds, as seen by the hop
+    #: that sent the request (each hop forwards it minus its own elapsed
+    #: time and a safety margin).
+    deadline_ms: Optional[float] = None
+    #: Priority class; ``"batch"`` is shed first under overload.
+    priority: str = "interactive"
+    #: Explicit degradation-ladder opt in/out; ``None`` = derived
+    #: (on iff the request carries a deadline).
+    degrade: Optional[bool] = None
 
 
 def _parse_taskset(document) -> Tuple[TaskSet, Platform]:
@@ -175,6 +200,26 @@ def parse_request(document) -> AnalysisRequest:
         raise AnalysisError(
             f"unknown inject kind {inject!r}; known: {', '.join(INJECT_KINDS)}"
         )
+    deadline_ms = document.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+            deadline_ms, bool
+        ) or not deadline_ms > 0:
+            raise AnalysisError(
+                f"'deadline_ms' must be a positive number of milliseconds, "
+                f"got {deadline_ms!r}"
+            )
+        deadline_ms = float(deadline_ms)
+    priority = document.get("priority", "interactive")
+    if priority not in PRIORITIES:
+        raise AnalysisError(
+            f"unknown priority {priority!r}; known: {', '.join(PRIORITIES)}"
+        )
+    degrade = document.get("degrade")
+    if degrade is not None and not isinstance(degrade, bool):
+        raise AnalysisError(
+            f"'degrade' must be a boolean, got {degrade!r}"
+        )
     return AnalysisRequest(
         request_id=request_id,
         taskset=taskset,
@@ -183,6 +228,9 @@ def parse_request(document) -> AnalysisRequest:
         budget_seconds=budget_seconds,
         max_iterations=max_iterations,
         inject=inject,
+        deadline_ms=deadline_ms,
+        priority=priority,
+        degrade=degrade,
     )
 
 
@@ -195,6 +243,53 @@ def ok_response(request_id: str, result) -> Dict:
     differ only in ``id`` and the ``cache`` marker.
     """
     return dict(result_payload(result), id=request_id)
+
+
+def degraded_response(
+    request_id: str,
+    result,
+    tier: str,
+    soundness: str,
+    tiers_tried,
+) -> Dict:
+    """An ``"ok"`` answer produced by a degraded ladder tier.
+
+    The body is the normal :func:`ok_response` plus a typed ``degraded``
+    marker; the marker keeps degraded answers out of the result cache and
+    the warm-seed store (their bounds are sound but not the exact
+    fingerprinted result) and lets clients and the chaos harness tell a
+    weaker-but-sound verdict from an exact one.
+    """
+    body = ok_response(request_id, result)
+    body["degraded"] = {
+        "tier": tier,
+        "soundness": soundness,
+        "tiers_tried": list(tiers_tried),
+    }
+    return body
+
+
+def shed_response(
+    request_id: str,
+    status: str,
+    message: str,
+    retry_after: Optional[float] = None,
+) -> Dict:
+    """Typed load-shedding response (``deadline-expired`` / ``overload-shed``).
+
+    ``"shed": true`` is the machine-readable marker the overload-storm
+    chaos scenario asserts on: no request may be dropped without it.
+    """
+    body = {
+        "version": PROTOCOL_VERSION,
+        "id": request_id,
+        "status": status,
+        "shed": True,
+        "message": message,
+    }
+    if retry_after is not None:
+        body["retry_after"] = retry_after
+    return body
 
 
 def abort_response(request_id: str, abort: AnalysisAborted) -> Dict:

@@ -36,11 +36,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import queue
+import signal
 import sys
 import threading
 import time
 import urllib.error
 import urllib.request
+from collections import deque
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
@@ -49,7 +52,7 @@ from repro.errors import AnalysisError, ModelError
 from repro.exitcodes import EXIT_USAGE
 from repro.perf import PerfCounters
 from repro.resultcache import request_fingerprint
-from repro.service.protocol import error_response, parse_request
+from repro.service.protocol import error_response, parse_request, shed_response
 
 #: Transport signature: ``(method, url, document, timeout) -> (status, body)``.
 #: Must raise :class:`OSError` (connection refused, socket timeout, reset)
@@ -99,6 +102,20 @@ class RouterConfig:
     #: First backoff sleep; doubles per retry up to :attr:`backoff_cap`.
     backoff_base: float = 0.05
     backoff_cap: float = 1.0
+    #: Safety margin (milliseconds) the router subtracts from a request's
+    #: remaining ``deadline_ms`` before forwarding — its share of the
+    #: end-to-end deadline propagation chain.  Retries never start when
+    #: the remaining deadline could not absorb the backoff sleep.
+    deadline_safety_ms: float = 25.0
+    #: Hedge the first attempt of an idempotent request: when the primary
+    #: has not answered within the measured p95 forward latency, send one
+    #: duplicate to the first backup shard and take whichever responds
+    #: first.  Analysis requests are pure functions of their payload, so
+    #: the duplicate is a no-op beyond the work it burns.
+    hedge_enabled: bool = True
+    #: Minimum recorded forward latencies before hedging engages (a cold
+    #: router has no p95 worth trusting).
+    hedge_min_samples: int = 16
 
     def __post_init__(self) -> None:
         if not self.shards:
@@ -128,6 +145,15 @@ class RouterConfig:
                 f"need 0 <= backoff_base <= backoff_cap, got "
                 f"{self.backoff_base} / {self.backoff_cap}"
             )
+        if self.deadline_safety_ms < 0:
+            raise AnalysisError(
+                f"deadline_safety_ms must be non-negative, "
+                f"got {self.deadline_safety_ms}"
+            )
+        if self.hedge_min_samples < 1:
+            raise AnalysisError(
+                f"hedge_min_samples must be >= 1, got {self.hedge_min_samples}"
+            )
 
 
 class ShardRouter:
@@ -138,16 +164,28 @@ class ShardRouter:
         config: RouterConfig,
         transport: Transport = http_transport,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.config = config
         self.transport = transport
         self.sleep = sleep
+        #: Monotonic time source for deadlines, cooldowns and latency
+        #: measurement; injectable for deterministic tests.
+        self._clock = clock
         self.perf = PerfCounters()
         self._lock = threading.Lock()
         #: Advisory liveness map maintained by the poller and by forward
         #: failures; shards start optimistically healthy.
         self._healthy: List[bool] = [True] * len(config.shards)
         self._health_detail: List[str] = ["unpolled"] * len(config.shards)
+        #: Monotonic instants before which each shard asked not to be
+        #: retried (its 429/503 ``Retry-After``); cooling shards sort to
+        #: the back of the candidate list but are never removed — like
+        #: the health map, the hint is advisory.
+        self._cooldown_until: List[float] = [0.0] * len(config.shards)
+        #: Rolling window of successful forward latencies feeding the
+        #: hedging p95.
+        self._latencies: deque = deque(maxlen=128)
         self._poller: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._round_robin = 0
@@ -182,6 +220,9 @@ class ShardRouter:
         Healthy shards are preferred within each group, but unhealthy
         ones stay in the list — the health map is advisory and a stale
         "down" verdict must not make a reachable shard unreachable.
+        Shards inside a ``Retry-After`` cooldown window sort behind
+        everything else (including an unhealthy primary): they asked not
+        to be contacted, so they are the last resort, not removed.
         """
         if not idempotent:
             return [primary]
@@ -189,14 +230,125 @@ class ShardRouter:
             (primary + offset) % len(self.config.shards)
             for offset in range(len(self.config.shards))
         ]
+        now = self._clock()
         with self._lock:
             healthy = list(self._healthy)
-        return sorted(ring, key=lambda i: (ring.index(i) != 0, not healthy[i]))
+            cooling = [until > now for until in self._cooldown_until]
+        return sorted(
+            ring,
+            key=lambda i: (cooling[i], ring.index(i) != 0, not healthy[i]),
+        )
+
+    def _cool_down(self, shard: int, retry_after) -> None:
+        """Honour a shard's ``Retry-After`` hint on 429/503 replies."""
+        if not isinstance(retry_after, (int, float)) or isinstance(
+            retry_after, bool
+        ) or retry_after <= 0:
+            return
+        until = self._clock() + float(retry_after)
+        with self._lock:
+            if until > self._cooldown_until[shard]:
+                self._cooldown_until[shard] = until
 
     # -- forwarding -----------------------------------------------------------
 
+    def _attempt(
+        self, shard: int, document, remaining: Callable[[], Optional[float]]
+    ) -> Tuple[Optional[Tuple[int, Dict]], Optional[str]]:
+        """One transport attempt; returns ``((status, body)|None, error)``.
+
+        Deadline propagation happens here: the forwarded copy carries the
+        *decremented* ``deadline_ms`` (the caller's deadline minus this
+        hop's elapsed time and safety margin) and the transport timeout
+        never exceeds what is left — a shard cannot be waited on past the
+        point where its answer would be useless.
+        """
+        left = remaining()
+        timeout = self.config.forward_timeout
+        if left is not None:
+            timeout = left if timeout is None else min(timeout, left)
+            if isinstance(document, dict) and "deadline_ms" in document:
+                document = dict(document, deadline_ms=left * 1000.0)
+        url = self.config.shards[shard] + "/analyze"
+        begun = self._clock()
+        try:
+            status, body = self.transport("POST", url, document, timeout)
+        except OSError as error:
+            self._mark(shard, False, f"forward failed: {error}")
+            return None, (
+                f"shard {shard} ({self.config.shards[shard]}): {error}"
+            )
+        if status == 200:
+            with self._lock:
+                self._latencies.append(self._clock() - begun)
+        if status in (429, 503) and isinstance(body, dict):
+            self._cool_down(shard, body.get("retry_after"))
+        if status != 503:
+            # 503 = up but refusing (draining / breaker open); that is a
+            # routing hint handled by the caller, not a health verdict.
+            self._mark(shard, True, "ok")
+        return (status, body), None
+
+    def _hedge_delay(self) -> Optional[float]:
+        """The p95 forward latency, or ``None`` while hedging is off."""
+        if not self.config.hedge_enabled:
+            return None
+        with self._lock:
+            if len(self._latencies) < self.config.hedge_min_samples:
+                return None
+            ordered = sorted(self._latencies)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+    def _hedged_first(
+        self,
+        document,
+        primary: int,
+        backup: int,
+        remaining: Callable[[], Optional[float]],
+        delay: float,
+    ) -> Tuple[int, Optional[Tuple[int, Dict]], Optional[str], int]:
+        """First attempt with a single hedge after ``delay`` seconds.
+
+        Sends the request to ``primary``; when no answer arrives within
+        the measured p95 latency, one duplicate goes to ``backup`` and the
+        first response wins (requests are pure functions of their
+        payload, so either answer is correct).  Returns
+        ``(shard, outcome, error, candidates_consumed)``.
+        """
+        results: "queue.Queue" = queue.Queue()
+
+        def attempt(shard: int) -> None:
+            outcome, error = self._attempt(shard, document, remaining)
+            results.put((shard, outcome, error))
+
+        threading.Thread(
+            target=attempt, args=(primary,), name="router-hedge-0", daemon=True
+        ).start()
+        try:
+            shard, outcome, error = results.get(timeout=delay)
+        except queue.Empty:
+            with self._lock:
+                self.perf.hedges_sent += 1
+            threading.Thread(
+                target=attempt,
+                args=(backup,),
+                name="router-hedge-1",
+                daemon=True,
+            ).start()
+            shard, outcome, error = results.get()
+            if outcome is None:
+                # The faster attempt died in transport; the slower one is
+                # still in flight and may yet answer.
+                shard, outcome, error = results.get()
+            if outcome is not None and shard == backup:
+                with self._lock:
+                    self.perf.hedges_won += 1
+            return shard, outcome, error, 2
+        return shard, outcome, error, 1
+
     def forward(self, document) -> Tuple[int, Dict]:
         """Route one request document to its shard; returns (status, body)."""
+        started = self._clock()
         fingerprint = self._fingerprint_of(document)
         if fingerprint is not None:
             primary = self.shard_for(fingerprint)
@@ -207,37 +359,84 @@ class ShardRouter:
                 self._round_robin += 1
             inject = document.get("inject") if isinstance(document, dict) else None
             idempotent = inject is None
+        deadline_seconds: Optional[float] = None
+        if isinstance(document, dict):
+            raw = document.get("deadline_ms")
+            if (
+                isinstance(raw, (int, float))
+                and not isinstance(raw, bool)
+                and raw > 0
+            ):
+                deadline_seconds = float(raw) / 1000.0
+
+        def remaining() -> Optional[float]:
+            """Caller-deadline seconds this hop may still spend."""
+            if deadline_seconds is None:
+                return None
+            return (
+                deadline_seconds
+                - (self._clock() - started)
+                - self.config.deadline_safety_ms / 1000.0
+            )
+
         candidates = self._candidates(primary, idempotent)
         retries_left = self.config.max_retries
         backoff = self.config.backoff_base
         last_error: Optional[str] = None
-        for position, shard in enumerate(candidates):
-            if position > 0:
+        expired = False
+        index = 0
+        first = True
+        while index < len(candidates):
+            shard = candidates[index]
+            if not first:
                 if retries_left <= 0:
+                    break
+                left = remaining()
+                if left is not None and left - backoff <= 0:
+                    # The retry budget is bounded by the caller's
+                    # deadline, not just by max_retries: a retry whose
+                    # backoff sleep alone outlives the deadline is wasted
+                    # work for an answer nobody is waiting for.
+                    expired = True
                     break
                 retries_left -= 1
                 with self._lock:
                     self.perf.router_retries += 1
                 self.sleep(backoff)
                 backoff = min(backoff * 2, self.config.backoff_cap)
-            url = self.config.shards[shard] + "/analyze"
-            try:
-                status, body = self.transport(
-                    "POST", url, document, self.config.forward_timeout
+            left = remaining()
+            if left is not None and left <= 0:
+                expired = True
+                break
+            outcome: Optional[Tuple[int, Dict]] = None
+            error: Optional[str] = None
+            consumed = 1
+            delay = (
+                self._hedge_delay()
+                if first and idempotent and index + 1 < len(candidates)
+                else None
+            )
+            if delay is not None:
+                shard, outcome, error, consumed = self._hedged_first(
+                    document, shard, candidates[index + 1], remaining, delay
                 )
-            except OSError as error:
-                self._mark(shard, False, f"forward failed: {error}")
-                last_error = f"shard {shard} ({self.config.shards[shard]}): {error}"
+            else:
+                outcome, error = self._attempt(shard, document, remaining)
+            first = False
+            if outcome is None:
+                last_error = error
+                index += consumed
                 continue
-            if status == 503 and idempotent and position + 1 < len(candidates):
+            status, body = outcome
+            if status == 503 and idempotent and index + consumed < len(candidates):
                 # The shard is up but refusing (draining / breaker open);
                 # another shard can serve the identical request.
                 last_error = (
                     f"shard {shard} refused with 503 "
                     f"({body.get('status', 'unknown')})"
                 )
+                index += consumed
                 continue
-            self._mark(shard, True, "ok")
             with self._lock:
                 self.perf.router_forwards += 1
                 if shard != primary:
@@ -246,6 +445,17 @@ class ShardRouter:
                 body = dict(body, shard=shard)
             return status, body
         request_id = document.get("id", "") if isinstance(document, dict) else ""
+        if expired:
+            with self._lock:
+                self.perf.shed_requests += 1
+                self.perf.deadline_expired_rejects += 1
+            return 504, shed_response(
+                request_id,
+                "deadline-expired",
+                f"caller deadline expired at the router after "
+                f"{self._clock() - started:.3f}s "
+                f"(last error: {last_error or 'no attempt failed'})",
+            )
         return 503, {
             "status": "no-shards",
             "id": request_id,
@@ -330,12 +540,16 @@ class ShardRouter:
         return 503, {"status": "no-shards", "shards_ready": 0}
 
     def stats_document(self) -> Dict:
+        now = self._clock()
         with self._lock:
             shards = [
                 {
                     "url": url,
                     "healthy": self._healthy[index],
                     "detail": self._health_detail[index],
+                    "cooling_seconds": round(
+                        max(0.0, self._cooldown_until[index] - now), 3
+                    ),
                 }
                 for index, url in enumerate(self.config.shards)
             ]
@@ -345,6 +559,13 @@ class ShardRouter:
                     "forwards": self.perf.router_forwards,
                     "retries": self.perf.router_retries,
                     "failovers": self.perf.router_failovers,
+                    "hedges_sent": self.perf.hedges_sent,
+                    "hedges_won": self.perf.hedges_won,
+                    "shed_requests": self.perf.shed_requests,
+                    "deadline_expired_rejects": (
+                        self.perf.deadline_expired_rejects
+                    ),
+                    "latency_samples": len(self._latencies),
                 },
             }
 
@@ -413,6 +634,22 @@ def serve_router(
     handler = type("BoundRouterHandler", (_RouterHandler,), {"router": router})
     server = ThreadingHTTPServer((config.host, config.port), handler)
     server.daemon_threads = True
+
+    def _on_signal(signum, _frame) -> None:
+        name = signal.Signals(signum).name
+        print(
+            f"repro-router: {name} received, shutting down...",
+            file=sys.stderr,
+            flush=True,
+        )
+        # Shut down off the signal handler's thread: shutdown() deadlocks
+        # when called from within serve_forever's own thread context.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
     host, port = server.server_address[:2]
     print(f"repro-router: listening on http://{host}:{port}", flush=True)
     try:
@@ -420,6 +657,10 @@ def serve_router(
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        # The poller thread is a daemon and its join is bounded, so a
+        # hung health probe cannot wedge the drain; the OS reaps it.
         router.stop_health_poller()
         server.server_close()
     print("repro-router: exiting", flush=True)
@@ -481,6 +722,27 @@ def _parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="retry backoff ceiling",
     )
+    parser.add_argument(
+        "--deadline-safety-ms",
+        type=float,
+        default=25.0,
+        metavar="MS",
+        help="safety margin subtracted from a request's remaining "
+        "deadline_ms before forwarding",
+    )
+    parser.add_argument(
+        "--no-hedge",
+        action="store_true",
+        help="disable the single hedged duplicate of slow idempotent "
+        "first attempts",
+    )
+    parser.add_argument(
+        "--hedge-min-samples",
+        type=int,
+        default=16,
+        metavar="N",
+        help="recorded forward latencies required before hedging engages",
+    )
     return parser
 
 
@@ -496,6 +758,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_retries=args.max_retries,
             backoff_base=args.backoff_base,
             backoff_cap=args.backoff_cap,
+            deadline_safety_ms=args.deadline_safety_ms,
+            hedge_enabled=not args.no_hedge,
+            hedge_min_samples=args.hedge_min_samples,
         )
     except AnalysisError as error:
         print(f"repro-router: error: {error}", file=sys.stderr)

@@ -382,6 +382,79 @@ def _check_adjacent_warmstart_identity(case: TasksetCase) -> List[str]:
 
 
 @register(
+    "ladder-dominance",
+    ("taskset",),
+    "degraded ladder tiers over-approximate the exact analysis, degraded "
+    "'schedulable' verdicts agree with it, and an unpressured ladder is "
+    "bit-identical to the exact analysis",
+    always_replay=True,
+)
+def _check_ladder_dominance(case: TasksetCase) -> List[str]:
+    from repro.analysis.ladder import (
+        SOUND_EXACT,
+        TIER_EXACT,
+        coarse_bound,
+        run_ladder,
+    )
+
+    taskset = case.taskset()
+    exact = analyze_taskset(taskset, case.platform, case.config)
+    messages: List[str] = []
+
+    # An unpressured ladder (no budget) must be the exact path, bit for bit.
+    unpressured = run_ladder(case.taskset(), case.platform, case.config)
+    if unpressured.tier != TIER_EXACT or unpressured.soundness != SOUND_EXACT:
+        messages.append(
+            f"unpressured ladder did not answer from the exact tier: "
+            f"tier={unpressured.tier!r} soundness={unpressured.soundness!r}"
+        )
+    elif unpressured.result != exact:
+        messages.append(
+            "unpressured ladder result differs from the direct exact "
+            f"analysis: schedulable {unpressured.result.schedulable} vs "
+            f"{exact.schedulable}, outer "
+            f"{unpressured.result.outer_iterations} vs "
+            f"{exact.outer_iterations}, response times equal: "
+            f"{unpressured.result.response_times == exact.response_times}"
+        )
+
+    degraded = []
+    if case.config.persistence:
+        degraded.append(
+            (
+                "baseline",
+                analyze_taskset(
+                    taskset,
+                    case.platform,
+                    replace(case.config, persistence=False),
+                ),
+            )
+        )
+    coarse = coarse_bound(taskset, case.platform, case.config)
+    degraded.append(("coarse", coarse))
+
+    if coarse.failed_task is not None and exact.schedulable:
+        messages.append(
+            f"coarse tier reports task {coarse.failed_task.name!r} "
+            "trivially infeasible but the exact analysis is schedulable"
+        )
+    for label, tier in degraded:
+        if _exhausted(exact) or _exhausted(tier):
+            # Conservative exhausted verdicts are not fixed points;
+            # ordering arguments do not apply to them.
+            continue
+        if tier.schedulable and not exact.schedulable:
+            messages.append(
+                f"{label} tier claims schedulable but the exact analysis "
+                f"rejects the set (failed task "
+                f"{exact.failed_task and exact.failed_task.name!r})"
+            )
+        if tier.schedulable and exact.schedulable:
+            _compare_pointwise(f"exact > {label}", exact, tier, messages)
+    return messages
+
+
+@register(
     "persistence-tightens",
     ("taskset",),
     "persistence-aware bounds never exceed the persistence-oblivious baseline",

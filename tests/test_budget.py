@@ -259,3 +259,99 @@ class TestAbortLeavesCachesSound:
                     (info.value.iterations, _canonical(info.value.partial))
                 )
         assert len(set(partials)) == 1
+
+
+class TestBudgetChild:
+    """Slices of a budget can never exceed their parent."""
+
+    def test_fraction_validation(self):
+        budget = Budget(max_iterations=10)
+        for bad in (0, -0.5, 1.5):
+            with pytest.raises(AnalysisError):
+                budget.child(bad)
+
+    def test_wall_slice_of_the_remaining_allowance(self):
+        clock = FakeClock()
+        parent = Budget(wall_seconds=10.0, clock=clock).start()
+        clock.now = 4.0  # 6 seconds left
+        child = parent.child(0.5)
+        assert child.wall_seconds == pytest.approx(3.0)
+        assert child.started  # anchored at the slice point
+        assert child.remaining() == pytest.approx(3.0)
+
+    def test_min_seconds_floor_is_capped_at_the_remaining(self):
+        clock = FakeClock()
+        parent = Budget(wall_seconds=10.0, clock=clock).start()
+        clock.now = 9.0  # 1 second left
+        child = parent.child(0.5, min_seconds=5.0)
+        # The floor lifts the slice above 0.5s but can never mint time
+        # the parent does not have.
+        assert child.wall_seconds == pytest.approx(1.0)
+
+    def test_iteration_slice_of_the_remaining_ceiling(self):
+        parent = Budget(max_iterations=100)
+        for _ in range(40):
+            parent.tick()
+        child = parent.child(0.5)
+        assert child.max_iterations == 30  # half of the 60 left
+
+    def test_child_ticks_charge_the_parent(self):
+        parent = Budget(max_iterations=100)
+        child = parent.child(0.5)
+        for _ in range(10):
+            child.tick()
+        assert parent.iterations == 10
+
+    def test_parent_ceiling_fires_inside_the_child(self):
+        parent = Budget(max_iterations=10)
+        for _ in range(8):
+            parent.tick()
+        child = parent.child(1.0)  # 2 iterations left in the parent
+        child.tick()
+        child.tick()
+        with pytest.raises(BudgetExceeded, match="ceiling of 10"):
+            child.tick()
+
+    def test_parent_wall_fires_inside_the_child(self):
+        clock = FakeClock()
+        parent = Budget(
+            wall_seconds=10.0, clock=clock, wall_check_stride=1
+        ).start()
+        clock.now = 6.0
+        child = parent.child(1.0, min_seconds=100.0)
+        # The child's own allowance is capped at the 4s left; advancing
+        # past the parent's deadline aborts through the chained check.
+        clock.now = 10.5
+        with pytest.raises(BudgetExceeded):
+            child.tick()
+
+    def test_exhausted_parent_cannot_be_sliced(self):
+        clock = FakeClock()
+        parent = Budget(wall_seconds=5.0, clock=clock).start()
+        clock.now = 6.0
+        with pytest.raises(BudgetExceeded, match="exhausted"):
+            parent.child(0.5)
+        drained = Budget(max_iterations=1)
+        drained.tick()
+        with pytest.raises(BudgetExceeded, match="exhausted"):
+            drained.child(0.5)
+
+    def test_unlimited_parent_stays_unlimited(self):
+        child = Budget().child(0.25)
+        assert child.wall_seconds is None
+        assert child.max_iterations is None
+
+    def test_cancel_token_is_shared(self):
+        token = CancelToken()
+        parent = Budget(max_iterations=100, token=token)
+        child = parent.child(0.5)
+        token.cancel()
+        with pytest.raises(Cancelled):
+            child.tick()
+
+    def test_grandchild_chains_to_the_root(self):
+        root = Budget(max_iterations=100)
+        grandchild = root.child(0.5).child(0.5)
+        for _ in range(5):
+            grandchild.tick()
+        assert root.iterations == 5

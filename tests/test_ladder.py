@@ -1,0 +1,216 @@
+"""Unit tests of the graceful-degradation ladder.
+
+The soundness claims (degraded bounds dominate exact ones; a degraded
+"schedulable" verdict agrees with the exact analysis) are replayed on the
+whole fuzz grid by the ``ladder-dominance`` oracle in
+:mod:`repro.verify.oracles`; here the mechanics are pinned: tier
+fall-through, budget slicing, parent exhaustion, bit-identity of the
+unpressured path and the coarse tier's verdict shapes.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.ladder import (
+    AnalysisLadder,
+    DEFAULT_TIERS,
+    LadderResult,
+    LadderTier,
+    SOUND_DEGRADED,
+    SOUND_EXACT,
+    SOUND_UNKNOWN,
+    TIER_BASELINE,
+    TIER_COARSE,
+    TIER_EXACT,
+    coarse_bound,
+    run_ladder,
+)
+from repro.analysis.wcrt import analyze_taskset
+from repro.budget import Budget
+from repro.errors import AnalysisError, BudgetExceeded, Cancelled
+from repro.budget import CancelToken
+from repro.experiments.config import default_platform
+from repro.generation.taskset_gen import generate_taskset
+from repro.perf import PerfCounters
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return default_platform()
+
+
+@pytest.fixture(scope="module")
+def taskset(platform):
+    return generate_taskset(random.Random(5), platform, 0.3)
+
+
+def tiny_exact_tiers(*, baseline_fraction=1.0, coarse=True):
+    """Ladder whose exact tier gets a deliberately starved slice."""
+    tiers = [LadderTier(TIER_EXACT, 0.0001)]
+    tiers.append(LadderTier(TIER_BASELINE, baseline_fraction))
+    if coarse:
+        tiers.append(LadderTier(TIER_COARSE, 1.0))
+    return AnalysisLadder(tiers)
+
+
+class TestLadderShape:
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(ValueError):
+            AnalysisLadder(())
+
+    def test_default_tiers_cover_the_lattice(self):
+        assert [tier.name for tier in DEFAULT_TIERS] == [
+            TIER_EXACT,
+            TIER_BASELINE,
+            TIER_COARSE,
+        ]
+
+    def test_degraded_property(self, taskset, platform):
+        result = run_ladder(taskset, platform)
+        assert isinstance(result, LadderResult)
+        assert not result.degraded
+        assert LadderResult(TIER_COARSE, SOUND_DEGRADED, None).degraded
+
+
+class TestUnpressuredBitIdentity:
+    def test_no_budget_runs_only_the_exact_tier(self, taskset, platform):
+        perf = PerfCounters()
+        outcome = run_ladder(taskset, platform, perf=perf)
+        assert outcome.tier == TIER_EXACT
+        assert outcome.soundness == SOUND_EXACT
+        assert outcome.tiers_tried == (TIER_EXACT,)
+        assert perf.ladder_tier_runs == 1
+        exact = analyze_taskset(taskset, platform)
+        assert outcome.result == exact
+
+    def test_generous_budget_is_still_bit_identical(self, taskset, platform):
+        budget = Budget(max_iterations=10_000_000).start()
+        outcome = run_ladder(taskset, platform, budget=budget)
+        assert outcome.tier == TIER_EXACT
+        assert outcome.result == analyze_taskset(taskset, platform)
+
+
+class TestFallThrough:
+    def test_starved_exact_tier_falls_to_baseline(self, taskset, platform):
+        perf = PerfCounters()
+        budget = Budget(max_iterations=100_000).start()
+        outcome = tiny_exact_tiers().run(
+            taskset, platform, budget=budget, perf=perf
+        )
+        assert outcome.tier == TIER_BASELINE
+        assert outcome.soundness == SOUND_DEGRADED
+        assert outcome.tiers_tried == (TIER_EXACT, TIER_BASELINE)
+        assert perf.ladder_tier_runs == 2
+        # Dominance: the baseline's bounds are pointwise >= the exact
+        # persistence-aware bounds (the persistence-tightens property).
+        exact = analyze_taskset(taskset, platform)
+        assert outcome.result.schedulable == exact.schedulable
+        for task, bound in exact.response_times.items():
+            assert outcome.result.response_times[task] >= bound
+
+    def test_starved_exact_and_baseline_fall_to_coarse(
+        self, taskset, platform
+    ):
+        budget = Budget(max_iterations=100_000).start()
+        ladder = AnalysisLadder(
+            (
+                LadderTier(TIER_EXACT, 0.0001),
+                LadderTier(TIER_BASELINE, 0.0001),
+                LadderTier(TIER_COARSE, 1.0),
+            )
+        )
+        outcome = ladder.run(taskset, platform, budget=budget)
+        assert outcome.tier == TIER_COARSE
+        assert outcome.soundness == SOUND_DEGRADED
+        assert outcome.tiers_tried == (
+            TIER_EXACT,
+            TIER_BASELINE,
+            TIER_COARSE,
+        )
+
+    def test_baseline_request_skips_the_baseline_tier(
+        self, taskset, platform
+    ):
+        budget = Budget(max_iterations=100_000).start()
+        outcome = tiny_exact_tiers().run(
+            taskset,
+            platform,
+            AnalysisConfig(persistence=False),
+            budget=budget,
+        )
+        # The request already is the baseline: re-running it under a
+        # smaller slice is pointless, so the ladder goes straight to
+        # the coarse tier.
+        assert TIER_BASELINE not in outcome.tiers_tried
+        assert outcome.tier == TIER_COARSE
+
+    def test_everything_exhausted_is_unknown(self, taskset, platform):
+        budget = Budget(max_iterations=3).start()
+        outcome = run_ladder(taskset, platform, budget=budget)
+        assert outcome.tier is None
+        assert outcome.soundness == SOUND_UNKNOWN
+        assert outcome.abort is not None
+        assert isinstance(outcome.abort, BudgetExceeded)
+
+    def test_parent_exhaustion_ends_the_descent(self, taskset, platform):
+        # A 1-iteration parent: the exact tier's slice aborts via the
+        # *parent* ceiling, and the next budget.child() raises — the
+        # descent must stop rather than run later tiers for free.
+        budget = Budget(max_iterations=1).start()
+        outcome = run_ladder(taskset, platform, budget=budget)
+        assert outcome.soundness == SOUND_UNKNOWN
+        assert outcome.tiers_tried == (TIER_EXACT,)
+
+    def test_cancellation_propagates(self, taskset, platform):
+        token = CancelToken()
+        token.cancel()
+        budget = Budget(max_iterations=100_000, token=token).start()
+        with pytest.raises(Cancelled):
+            run_ladder(taskset, platform, budget=budget)
+
+
+class TestCoarseBound:
+    def test_dominates_the_exact_analysis(self, taskset, platform):
+        exact = analyze_taskset(taskset, platform)
+        coarse = coarse_bound(taskset, platform)
+        if coarse.schedulable:
+            # A coarse "schedulable" verdict is sound: the exact analysis
+            # agrees and its bounds are pointwise tighter.
+            assert exact.schedulable
+            for task, bound in exact.response_times.items():
+                assert coarse.response_times[task] >= bound
+
+    def test_runs_one_outer_round(self, taskset, platform):
+        coarse = coarse_bound(taskset, platform)
+        assert coarse.outer_iterations <= 1
+
+    def test_conservative_failure_has_no_failed_task(self, platform):
+        # Build an overloaded set the coarse tier cannot prove
+        # schedulable; its negative verdict must use the conservative
+        # shape (failed_task=None) unless the overrun is the exact
+        # isolated-WCET case.
+        taskset = generate_taskset(random.Random(11), platform, 0.95)
+        coarse = coarse_bound(taskset, platform)
+        if not coarse.schedulable and coarse.failed_task is not None:
+            # failed_task set = an exact negative: isolated WCET alone
+            # overruns, which the full analysis would report identically.
+            exact = analyze_taskset(taskset, platform)
+            assert not exact.schedulable
+
+    def test_respects_its_budget(self, taskset, platform):
+        with pytest.raises(BudgetExceeded):
+            coarse_bound(
+                taskset,
+                platform,
+                budget=Budget(max_iterations=1).start(),
+            )
+
+
+class TestTierValidation:
+    def test_child_fraction_validation_via_ladder(self, taskset, platform):
+        budget = Budget(max_iterations=100).start()
+        ladder = AnalysisLadder((LadderTier(TIER_EXACT, 2.0),))
+        with pytest.raises(AnalysisError):
+            ladder.run(taskset, platform, budget=budget)

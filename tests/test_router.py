@@ -79,16 +79,26 @@ class FakeTransport:
         return [url for _m, url, _d, _t in self.calls if url.endswith("/analyze")]
 
 
-def make_router(num_shards=3, modes=None, **config):
+def make_router(num_shards=3, modes=None, clock=None, **config):
     urls = tuple(f"http://shard{index}" for index in range(num_shards))
     transport = FakeTransport(urls, modes)
     sleeps = []
+    extra = {} if clock is None else {"clock": clock}
     router = ShardRouter(
         RouterConfig(shards=urls, **config),
         transport=transport,
         sleep=sleeps.append,
+        **extra,
     )
     return router, transport, sleeps
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
 
 
 class TestRouterConfig:
@@ -155,7 +165,13 @@ class TestForwarding:
         assert len(transport.analyze_urls()) == 1
         assert sleeps == []
         stats = router.stats_document()["router"]
-        assert stats == {"forwards": 1, "retries": 0, "failovers": 0}
+        assert (stats["forwards"], stats["retries"], stats["failovers"]) == (
+            1,
+            0,
+            0,
+        )
+        assert stats["hedges_sent"] == 0
+        assert stats["latency_samples"] == 1
 
     def test_dead_primary_fails_over_with_backoff(self, envelope):
         document = request_document(envelope)
@@ -315,3 +331,176 @@ class TestBatch:
         status, body = router.forward_batch({"not": "a list"})
         assert status == 400
         assert body["error"] == "ModelError"
+
+
+class TestDeadlineAwareRetries:
+    def test_retry_never_outlives_the_caller_deadline(self, envelope):
+        # Every shard dead, 30ms of deadline: after the first failed
+        # attempt the 50ms backoff alone would outlive the caller, so
+        # the router stops with a typed 504 instead of retrying.
+        router, transport, sleeps = make_router(
+            modes={f"http://shard{i}": "dead" for i in range(3)},
+            clock=FakeClock(),
+            backoff_base=0.05,
+        )
+        status, body = router.forward(
+            request_document(envelope, deadline_ms=30)
+        )
+        assert status == 504
+        assert body["status"] == "deadline-expired"
+        assert body["shed"] is True
+        assert len(transport.analyze_urls()) == 1
+        assert sleeps == []  # the backoff sleep never happened
+        assert router.perf.shed_requests == 1
+        assert router.perf.deadline_expired_rejects == 1
+
+    def test_deadline_is_decremented_and_bounds_the_timeout(self, envelope):
+        router, transport, _sleeps = make_router(clock=FakeClock())
+        status, _body = router.forward(
+            request_document(envelope, deadline_ms=1_000)
+        )
+        assert status == 200
+        _method, _url, document, timeout = transport.calls[-1]
+        # 1000ms minus the 25ms safety margin travels to the shard, and
+        # the transport attempt cannot wait longer than that.
+        assert document["deadline_ms"] == pytest.approx(975.0)
+        assert timeout == pytest.approx(0.975)
+
+    def test_expired_on_arrival_is_shed_without_any_attempt(self, envelope):
+        router, transport, _sleeps = make_router(clock=FakeClock())
+        status, body = router.forward(
+            request_document(envelope, deadline_ms=10)
+        )
+        assert status == 504
+        assert body["shed"] is True
+        assert transport.analyze_urls() == []
+
+    def test_no_deadline_keeps_the_old_retry_behaviour(self, envelope):
+        router, transport, sleeps = make_router(
+            modes={"http://shard0": "dead"}, clock=FakeClock()
+        )
+        document = request_document(envelope)
+        status, _body = router.forward(document)
+        assert status == 200
+        assert transport.calls[-1][3] is None  # no timeout derived
+
+
+class TestRetryAfterCooldown:
+    def test_cooling_shard_sorts_to_the_back(self, envelope):
+        clock = FakeClock()
+        router, transport, _sleeps = make_router(clock=clock)
+        document = request_document(envelope)
+        primary = router.shard_for(fingerprint_of(document))
+        transport.modes[f"http://shard{primary}"] = "refuse"
+        # First forward: primary refuses with Retry-After 1, fails over.
+        status, body = router.forward(document)
+        assert status == 200
+        assert body["shard"] != primary
+        # Second forward inside the cooldown window: the primary is not
+        # even attempted — its Retry-After is honoured.
+        transport.calls.clear()
+        status, body = router.forward(dict(document, id="req-2"))
+        assert status == 200
+        first_url = transport.analyze_urls()[0]
+        assert f"shard{primary}" not in first_url
+        # After the window the primary is preferred again.
+        clock.now = 2.0
+        transport.modes.pop(f"http://shard{primary}")
+        transport.calls.clear()
+        status, body = router.forward(dict(document, id="req-3"))
+        assert body["shard"] == primary
+
+    def test_cooldown_is_reported_in_stats(self, envelope):
+        clock = FakeClock()
+        router, transport, _sleeps = make_router(clock=clock)
+        document = request_document(envelope)
+        primary = router.shard_for(fingerprint_of(document))
+        transport.modes[f"http://shard{primary}"] = "refuse"
+        router.forward(document)
+        stats = router.stats_document()
+        assert stats["shards"][primary]["cooling_seconds"] == pytest.approx(
+            1.0
+        )
+
+
+class TestHedging:
+    def test_cold_router_never_hedges(self, envelope):
+        router, transport, _sleeps = make_router()
+        status, _body = router.forward(request_document(envelope))
+        assert status == 200
+        assert len(transport.analyze_urls()) == 1
+        assert router.perf.hedges_sent == 0
+
+    def test_slow_primary_is_hedged_and_backup_wins(self, envelope):
+        import threading as _threading
+
+        document = request_document(envelope)
+        probe, _t, _s = make_router(num_shards=2)
+        primary = probe.shard_for(fingerprint_of(document))
+        release = _threading.Event()
+        urls = ("http://shard0", "http://shard1")
+
+        def transport(method, url, doc, timeout):
+            if url.endswith("/analyze") and f"shard{primary}" in url:
+                release.wait(timeout=30)
+            request_id = doc.get("id", "") if isinstance(doc, dict) else ""
+            return 200, {"status": "ok", "id": request_id}
+
+        router = ShardRouter(
+            RouterConfig(shards=urls, hedge_min_samples=4),
+            transport=transport,
+            sleep=lambda _s: None,
+        )
+        # Prime the latency window so the p95 hedge delay is tiny.
+        router._latencies.extend([0.01] * 8)
+        try:
+            status, body = router.forward(document)
+            assert status == 200
+            assert body["shard"] == 1 - primary
+            assert router.perf.hedges_sent == 1
+            assert router.perf.hedges_won == 1
+        finally:
+            release.set()
+
+    def test_fast_primary_wins_without_a_hedge(self, envelope):
+        router, transport, _sleeps = make_router(
+            num_shards=2, hedge_min_samples=4
+        )
+        document = request_document(envelope)
+        # Generous hedge delay: the instant fake transport always beats it.
+        router._latencies.extend([5.0] * 8)
+        status, body = router.forward(document)
+        assert status == 200
+        assert body["shard"] == router.shard_for(fingerprint_of(document))
+        assert router.perf.hedges_sent == 0
+        assert router.perf.hedges_won == 0
+
+    def test_hedging_can_be_disabled(self, envelope):
+        router, transport, _sleeps = make_router(
+            num_shards=2, hedge_enabled=False, hedge_min_samples=1
+        )
+        router._latencies.extend([0.0] * 8)
+        status, _body = router.forward(request_document(envelope))
+        assert status == 200
+        assert router.perf.hedges_sent == 0
+
+
+class TestPollerHygiene:
+    def test_poller_thread_is_daemonized_and_joinable(self):
+        router, _transport, _sleeps = make_router(
+            health_interval_seconds=0.01
+        )
+        router.start_health_poller()
+        poller = router._poller
+        assert poller is not None
+        assert poller.daemon  # a hung probe cannot wedge process exit
+        router.stop_health_poller()
+        assert router._poller is None
+        assert not poller.is_alive()
+
+    def test_stop_is_idempotent(self):
+        router, _transport, _sleeps = make_router()
+        router.stop_health_poller()  # never started: no-op
+        router.start_health_poller()
+        router.stop_health_poller()
+        router.stop_health_poller()

@@ -234,9 +234,14 @@ class StubPool:
         self.closed = True
 
 
-def make_service(pool=None, breaker=None, **config):
+def make_service(pool=None, breaker=None, clock=None, rng=None, **config):
+    extra = {}
+    if clock is not None:
+        extra["clock"] = clock
+    if rng is not None:
+        extra["rng"] = rng
     return AnalysisService(
-        ServiceConfig(**config), pool=pool or StubPool(), breaker=breaker
+        ServiceConfig(**config), pool=pool or StubPool(), breaker=breaker, **extra
     )
 
 
@@ -348,7 +353,9 @@ class TestServiceHandle:
             assert gate.wait(timeout=30)
             status, body = service.handle(request_document(envelope))
             assert (status, body["status"]) == (429, "busy")
-            assert body["retry_after"] == 1
+            # Load-derived, jittered: base 1.0 x (0.5 + load 1.0) x
+            # jitter in [0.5, 1.5).
+            assert 0.75 <= body["retry_after"] < 2.25
             assert service.stats.rejected_busy == 1
         finally:
             release.set()
@@ -657,3 +664,218 @@ class TestDrain:
         service = make_service(pool=pool)
         service.close()
         assert pool.closed
+
+
+class TestDeadlinePropagation:
+    """End-to-end deadline handling at the daemon hop (injected clock)."""
+
+    def test_expired_on_arrival_is_shed_before_the_pool(self, envelope):
+        pool = StubPool()
+        service = make_service(pool=pool, clock=FakeClock())
+        # 10ms of deadline minus the 25ms safety margin is already gone.
+        status, body = service.handle(
+            request_document(envelope, deadline_ms=10)
+        )
+        assert status == 504
+        assert body["status"] == "deadline-expired"
+        assert body["shed"] is True
+        assert pool.calls == 0  # shed without a pool round-trip
+        assert service.stats.shed_expired == 1
+        assert service.perf.shed_requests == 1
+        assert service.perf.deadline_expired_rejects == 1
+
+    def test_near_zero_deadline_clamps_to_the_minimum_budget(self, envelope):
+        seen = {}
+
+        def spy(document):
+            seen.update(document)
+            return service_worker(document)
+
+        service = make_service(pool=StubPool(spy), clock=FakeClock())
+        # 30ms deadline - 25ms safety = 5ms remaining: admitted, but the
+        # derived budget is clamped up to min_budget_seconds so the
+        # request can at least return its typed abort.
+        status, _body = service.handle(
+            request_document(envelope, deadline_ms=30)
+        )
+        assert status == 200
+        assert seen["budget_seconds"] == pytest.approx(0.05)
+        assert seen["deadline_ms"] == pytest.approx(5.0)
+
+    def test_tighter_caller_budget_wins(self, envelope):
+        seen = {}
+
+        def spy(document):
+            seen.update(document)
+            return service_worker(document)
+
+        service = make_service(pool=StubPool(spy), clock=FakeClock())
+        service.handle(
+            request_document(envelope, deadline_ms=10_000, budget_seconds=1.0)
+        )
+        assert seen["budget_seconds"] == 1.0
+        # The decremented deadline still travels with the request.
+        assert seen["deadline_ms"] == pytest.approx(9_975.0)
+
+    def test_deadline_derived_budget_applies_without_caller_budget(
+        self, envelope
+    ):
+        seen = {}
+
+        def spy(document):
+            seen.update(document)
+            return service_worker(document)
+
+        service = make_service(pool=StubPool(spy), clock=FakeClock())
+        service.handle(request_document(envelope, deadline_ms=2_025))
+        assert seen["budget_seconds"] == pytest.approx(2.0)
+
+
+class TestOverloadControl:
+    def test_batch_priority_is_shed_first(self, envelope):
+        gate = threading.Event()
+        release = threading.Event()
+
+        def blocking(document):
+            gate.set()
+            release.wait(timeout=30)
+            return service_worker(document)
+
+        # batch_cap defaults to max_in_flight // 2 = 2.
+        service = make_service(pool=StubPool(blocking), max_in_flight=4)
+        results = {}
+        workers = [
+            threading.Thread(
+                target=lambda key=key: results.update(
+                    {key: service.handle(request_document(envelope))}
+                )
+            )
+            for key in ("a", "b")
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            assert gate.wait(timeout=30)
+            deadline = time.monotonic() + 30
+            while len(service._active) < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            status, body = service.handle(
+                request_document(envelope, priority="batch")
+            )
+            assert status == 429
+            assert body["status"] == "overload-shed"
+            assert body["shed"] is True
+            assert body["retry_after"] > 0
+            assert service.stats.shed_overload == 1
+            assert service.perf.shed_requests == 1
+            # Interactive requests are still admitted at this load.
+            status, body = service.handle(request_document(envelope))
+            assert status == 200
+        finally:
+            release.set()
+            for worker in workers:
+                worker.join(timeout=30)
+
+    def test_retry_after_is_deterministic_with_injected_rng(self, envelope):
+        gate = threading.Event()
+        release = threading.Event()
+
+        def blocking(document):
+            gate.set()
+            release.wait(timeout=30)
+            return service_worker(document)
+
+        service = make_service(
+            pool=StubPool(blocking), max_in_flight=1, rng=random.Random(0)
+        )
+        results = {}
+        worker = threading.Thread(
+            target=lambda: results.update(
+                first=service.handle(request_document(envelope))
+            )
+        )
+        worker.start()
+        try:
+            assert gate.wait(timeout=30)
+            _status, body = service.handle(request_document(envelope))
+            expected = round(
+                1.0 * (0.5 + 1.0) * (0.5 + random.Random(0).random()), 3
+            )
+            assert body["retry_after"] == expected
+        finally:
+            release.set()
+            worker.join(timeout=30)
+
+
+class TestBrownout:
+    def test_brownout_serves_the_coarse_tier_without_the_pool(self, envelope):
+        pool = StubPool()
+        # brownout_in_flight=1: the very first admitted slot browns out.
+        service = make_service(
+            pool=pool, max_in_flight=4, brownout_in_flight=1
+        )
+        status, body = service.handle(
+            request_document(envelope, degrade=True)
+        )
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["brownout"] is True
+        assert body["degraded"]["tier"] == "coarse"
+        assert body["degraded"]["soundness"] == "degraded-sound"
+        assert pool.calls == 0
+        assert service.stats.brownout_served == 1
+        assert service.stats.degraded == 1
+        assert service.perf.degraded_responses == 1
+        assert service.perf.ladder_tier_runs == 1
+
+    def test_open_breaker_browns_out_degradable_requests(self, envelope):
+        pool = StubPool()
+        breaker = CircuitBreaker(failure_threshold=1, clock=FakeClock())
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        service = make_service(pool=pool, breaker=breaker)
+        # Degradable request: served degraded instead of 503.
+        status, body = service.handle(
+            request_document(envelope, degrade=True)
+        )
+        assert (status, body["brownout"]) == (200, True)
+        assert pool.calls == 0
+        # Non-degradable request: the exact pre-pressure semantics.
+        status, body = service.handle(request_document(envelope))
+        assert (status, body["status"]) == (503, "breaker-open")
+
+    def test_degraded_answers_never_enter_the_cache(self, envelope, tmp_path):
+        service = make_service(
+            max_in_flight=4,
+            brownout_in_flight=1,
+            cache_dir=str(tmp_path),
+        )
+        first = service.handle(request_document(envelope, degrade=True))[1]
+        assert first["brownout"] is True
+        # A second identical request must not be served from the cache:
+        # the degraded body was never stored under the exact fingerprint.
+        second = service.handle(
+            request_document(envelope, id="req-2", degrade=True)
+        )[1]
+        assert second.get("cache") != "hit"
+        assert second["brownout"] is True
+
+    def test_ladder_degrades_through_the_pool_path(self, envelope):
+        # A starved iteration budget with degrade=True: the pool worker
+        # runs the ladder and answers from a degraded tier instead of
+        # aborting, and the daemon counts it.
+        service = make_service(max_in_flight=4)
+        status, body = service.handle(
+            request_document(
+                envelope, degrade=True, max_iterations=50
+            )
+        )
+        assert status == 200
+        if body["status"] == "ok":
+            assert body["degraded"]["tier"] in ("baseline", "coarse")
+            assert service.stats.degraded == 1
+        else:
+            # Even the coarse tier did not fit: typed abort with the
+            # unknown-soundness marker.
+            assert body["status"] == "budget-exceeded"
+            assert body["degraded"]["soundness"] == "unknown"
